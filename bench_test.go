@@ -1,0 +1,412 @@
+// Benchmarks: one per reproduced table/figure (see DESIGN.md §4) plus the
+// T6 scheduler-cost scaling study backing the paper's polynomial-time
+// claims. Run with:
+//
+//	go test -bench=. -benchmem
+package aisched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aisched/internal/baseline"
+	"aisched/internal/core"
+	"aisched/internal/graph"
+	"aisched/internal/hw"
+	"aisched/internal/idle"
+	"aisched/internal/interp"
+	"aisched/internal/loops"
+	"aisched/internal/machine"
+	"aisched/internal/minic"
+	"aisched/internal/paperex"
+	"aisched/internal/rank"
+	"aisched/internal/regren"
+	"aisched/internal/verify"
+	"aisched/internal/workload"
+)
+
+// BenchmarkFigure1 (E1): Rank Algorithm + Move_Idle_Slot on the paper's BB1.
+func BenchmarkFigure1(b *testing.B) {
+	f := paperex.NewFig1()
+	m := machine.SingleUnit(2)
+	d100 := rank.UniformDeadlines(f.G.Len(), 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := rank.Run(f.G, m, d100, f.PaperTie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := rank.Rebase(d100, 100-res.S.Makespan())
+		if _, err := idle.MoveIdleSlot(res.S, m, d, 0, 2, f.PaperTie); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 (E2): Algorithm Lookahead on the two-block trace.
+func BenchmarkFigure2(b *testing.B) {
+	f := paperex.NewFig2()
+	m := machine.SingleUnit(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Lookahead(f.G, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Makespan() != 11 {
+			b.Fatalf("makespan %d", res.Makespan())
+		}
+	}
+}
+
+// BenchmarkFigure3 (E3): §5.2.3 general-case loop scheduling of the
+// partial-products loop.
+func BenchmarkFigure3(b *testing.B) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := loops.ScheduleSingleBlockLoop(f.G, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.II != 6 {
+			b.Fatalf("II %d", st.II)
+		}
+	}
+}
+
+// BenchmarkFigure8 (E4): single-source/single-sink transforms on the
+// counter-example loop.
+func BenchmarkFigure8(b *testing.B) {
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := loops.ScheduleSingleBlockLoop(f.G, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.II != 4 {
+			b.Fatalf("II %d", st.II)
+		}
+	}
+}
+
+func benchTrace(b *testing.B, seed int64) *graph.Graph {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g, err := workload.Trace(r, workload.DefaultTrace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkT1Anticipatory (T1): Lookahead scheduling + window simulation of
+// a random trace, per window size.
+func BenchmarkT1Anticipatory(b *testing.B) {
+	g := benchTrace(b, 1)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			m := machine.SingleUnit(w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Lookahead(g, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := hw.SimulateTrace(g, m, res.StaticOrder()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT1Baselines (T1): local baseline scheduling + simulation.
+func BenchmarkT1Baselines(b *testing.B) {
+	g := benchTrace(b, 1)
+	m := machine.SingleUnit(4)
+	for _, s := range baseline.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				order, err := baseline.ScheduleTrace(s, g, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := hw.SimulateTrace(g, m, order); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT2Ablation (T2): full Lookahead vs the Delay_Idle_Slots-less
+// variant.
+func BenchmarkT2Ablation(b *testing.B) {
+	g := benchTrace(b, 2)
+	m := machine.SingleUnit(4)
+	for _, v := range []struct {
+		name string
+		opt  core.Options
+	}{{"full", core.Options{}}, {"no-delay", core.Options{SkipDelay: true}}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LookaheadOpts(g, m, v.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT3Loop (T3): loop scheduling of random single-block loops.
+func BenchmarkT3Loop(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	g, err := workload.Loop(r, workload.DefaultLoop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.SingleUnit(8)
+	b.Run("anticipatory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := loops.ScheduleSingleBlockLoop(g, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := loops.Pipeline(g, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dynamic-steady-state", func(b *testing.B) {
+		order := make([]graph.NodeID, g.Len())
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hw.SteadyState(g, m, order, hw.Options{Speculate: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT4Oracles (T4): the exhaustive oracles' cost on the instance
+// sizes used by the optimality experiments.
+func BenchmarkT4Oracles(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	g := graph.New(10)
+	for i := 0; i < 10; i++ {
+		g.AddUnit("n")
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if r.Float64() < 0.3 {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+			}
+		}
+	}
+	m := machine.SingleUnit(1)
+	b.Run("block-makespan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := verify.OptimalMakespan(g, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT5Machines (T5): Lookahead on general machine models.
+func BenchmarkT5Machines(b *testing.B) {
+	for _, mc := range []struct {
+		m       *machine.Machine
+		classes int
+	}{
+		{machine.SingleUnit(4), 1},
+		{machine.RS6000(4), 3},
+		{machine.Superscalar(2, 4), 1}, // single-class machine: class-0 workload
+	} {
+		r := rand.New(rand.NewSource(5))
+		cfg := workload.DefaultTrace()
+		cfg.Latency = workload.Mixed
+		cfg.Classes = mc.classes
+		g, err := workload.Trace(r, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mc.m.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Lookahead(g, mc.m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingRank (T6): Rank Algorithm cost vs block size — the
+// polynomial-time claim of the paper's title result.
+func BenchmarkScalingRank(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(int64(n)))
+			g := graph.New(n)
+			for i := 0; i < n; i++ {
+				g.AddUnit("n")
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n && j < i+24; j++ {
+					if r.Float64() < 0.15 {
+						g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+					}
+				}
+			}
+			m := machine.SingleUnit(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rank.Makespan(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingLookahead (T6): Algorithm Lookahead cost vs trace size.
+func BenchmarkScalingLookahead(b *testing.B) {
+	for _, blocks := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			r := rand.New(rand.NewSource(int64(blocks)))
+			cfg := workload.DefaultTrace()
+			cfg.Blocks = blocks
+			g, err := workload.Trace(r, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := machine.SingleUnit(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Lookahead(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator: raw window-simulator throughput (cycles simulated per
+// second matters for the experiment harness).
+func BenchmarkSimulator(b *testing.B) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.SimulateLoop(f.G, m, f.Schedule2, 128, hw.Options{Speculate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT3bLoopTrace (T3b): the §5.1 multi-block loop algorithm.
+func BenchmarkT3bLoopTrace(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	g, err := workload.LoopTrace(r, workload.DefaultLoopTrace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.SingleUnit(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := loops.ScheduleLoopTrace(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT7Global (T7): the unsafe global comparator schedule.
+func BenchmarkT7Global(b *testing.B) {
+	g := benchTrace(b, 7)
+	m := machine.SingleUnit(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.GlobalMakespan(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1Renaming (A1): the register-renaming pass on compiled blocks.
+func BenchmarkA1Renaming(b *testing.B) {
+	r := rand.New(rand.NewSource(41))
+	src := workload.RandomProgram(r, 6)
+	comp, err := minic.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regren.RenameBlocks(comp.Blocks)
+	}
+}
+
+// BenchmarkA2Unroll (A2): unroll-and-schedule at factor 4.
+func BenchmarkA2Unroll(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	g, err := workload.Loop(r, workload.DefaultLoop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.SingleUnit(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := loops.UnrollAndSchedule(g, m, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkV1Interpreter (V1): functional interpretation throughput.
+func BenchmarkV1Interpreter(b *testing.B) {
+	r := rand.New(rand.NewSource(51))
+	src := workload.RandomProgram(r, 6)
+	comp, err := minic.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := interp.Run(comp.Blocks, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiler: mini-C compile throughput on a generated program.
+func BenchmarkCompiler(b *testing.B) {
+	r := rand.New(rand.NewSource(61))
+	src := workload.RandomProgram(r, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := minic.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command aisched schedules an assembly file with anticipatory instruction
+// scheduling and reports the static per-block code plus the dynamic
+// completion time under the lookahead-window hardware model, compared
+// against local baselines.
+//
+// Usage:
+//
+//	aisched [-mode trace|loop] [-w window] [-machine single|rs6000|wide2] [-iters n] file.s
+//
+// With no file, the paper's Figure 3 partial-products loop is used.
+//
+// Modes:
+//
+//	trace — treat the file's blocks as a trace; run Algorithm Lookahead.
+//	loop  — treat the first block as a single-block loop body; run the §5.2
+//	        general-case loop scheduler and report steady-state cycles/iter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aisched"
+	"aisched/internal/baseline"
+	"aisched/internal/emit"
+	"aisched/internal/graph"
+	"aisched/internal/isa"
+	"aisched/internal/machine"
+	"aisched/internal/tables"
+)
+
+const fig3Asm = `
+CL.18:
+	loadu  r6, 4(r7)   ; load x[i], bump pointer
+	storeu r0, 4(r5)   ; store y[i-1], bump pointer
+	cmpi   cr1, r6, 0  ; x[i] == 0 ?
+	mul    r0, r6, r0  ; y[i] = y[i-1] * x[i]
+	bt     cr1, CL.18  ; loop back
+`
+
+func main() {
+	var (
+		mode   = flag.String("mode", "loop", "trace or loop")
+		w      = flag.Int("w", 4, "lookahead window size W")
+		mdl    = flag.String("machine", "single", "single, rs6000, or wide2")
+		iters  = flag.Int("iters", 20, "loop iterations to simulate")
+		unroll = flag.Int("unroll", 1, "loop unroll factor (loop mode)")
+	)
+	flag.Parse()
+
+	src := fig3Asm
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	blocks, err := aisched.ParseAsm(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(blocks) == 0 {
+		fatal(fmt.Errorf("no instructions"))
+	}
+
+	var m *machine.Machine
+	switch *mdl {
+	case "single":
+		m = machine.SingleUnit(*w)
+	case "rs6000":
+		m = machine.RS6000(*w)
+	case "wide2":
+		m = machine.Superscalar(2, *w)
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *mdl))
+	}
+	fmt.Printf("machine: %s\n\n", m)
+
+	switch *mode {
+	case "loop":
+		runLoop(blocks[0], m, *iters, *unroll)
+	case "trace":
+		runTrace(blocks, m)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func runLoop(b isa.Block, m *machine.Machine, iters, unroll int) {
+	g := aisched.BuildLoopGraph(b.Instrs)
+	t := tables.New(fmt.Sprintf("loop %s: steady-state comparison", b.Label),
+		"scheduler", "cycles/iter (periodic)", "completion of n="+fmt.Sprint(iters))
+	progOrder := sourceOrder(g)
+	prog, err := aisched.EvaluateLoopOrder(g, m, progOrder)
+	if err != nil {
+		fatal(err)
+	}
+	t.Add("program order", prog.II, prog.CompletionN(iters))
+	best, err := aisched.ScheduleLoop(g, m)
+	if err != nil {
+		fatal(err)
+	}
+	t.Add("anticipatory (5.2)", best.II, best.CompletionN(iters))
+	fmt.Println(t)
+	body, err := emit.Loop(b, best.Order)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("anticipatory body order:")
+	fmt.Print(body)
+	dyn, err := aisched.LoopSteadyState(g, m, best.Order, aisched.SimOptions{Speculate: true})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ndynamic steady state on window hardware: %.2f cycles/iter\n", dyn)
+
+	if unroll > 1 {
+		u, err := aisched.UnrollLoop(g, m, unroll)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("unrolled ×%d: %.2f cycles per original iteration\n", unroll, u.PerIteration())
+	}
+}
+
+func runTrace(blocks []isa.Block, m *machine.Machine) {
+	var seqs [][]isa.Instr
+	for _, b := range blocks {
+		seqs = append(seqs, b.Instrs)
+	}
+	g := aisched.BuildTraceGraph(seqs)
+	res, err := aisched.ScheduleTrace(g, m)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := aisched.SimulateTrace(g, m, res.StaticOrder())
+	if err != nil {
+		fatal(err)
+	}
+	t := tables.New("trace: dynamic completion under the window model",
+		"scheduler", "completion (cycles)")
+	t.Add("anticipatory (Algorithm Lookahead)", sim.Completion)
+	for _, bl := range baseline.All() {
+		order, err := baseline.ScheduleTrace(bl, g, m)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := aisched.SimulateTrace(g, m, order)
+		if err != nil {
+			fatal(err)
+		}
+		t.Add(bl.Name(), s.Completion)
+	}
+	fmt.Println(t)
+	out, err := emit.Trace(blocks, res.BlockOrders)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("anticipatory static code:")
+	fmt.Print(out)
+}
+
+func sourceOrder(g *graph.Graph) []graph.NodeID {
+	out := make([]graph.NodeID, g.Len())
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aisched:", err)
+	os.Exit(1)
+}

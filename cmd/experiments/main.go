@@ -1,0 +1,86 @@
+// Command experiments runs the full reproduction suite (E1–E4, T1–T5) and
+// prints the EXPERIMENTS.md tables. Individual experiments can be selected
+// and the instance counts and seed overridden.
+//
+// Usage:
+//
+//	experiments [-t E1,T1,...] [-seed N] [-n instances]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aisched/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("t", "", "comma-separated experiment ids (default: all)")
+		seed  = flag.Int64("seed", 1996, "random seed for T1–T5")
+		n     = flag.Int("n", 0, "instance count override for T1–T5 (0 = defaults)")
+	)
+	flag.Parse()
+
+	type runner func() (*experiments.Result, error)
+	def := func(f func(int64, int) (*experiments.Result, error), defN int) runner {
+		return func() (*experiments.Result, error) {
+			c := defN
+			if *n > 0 {
+				c = *n
+			}
+			return f(*seed, c)
+		}
+	}
+	all := []struct {
+		id  string
+		run runner
+	}{
+		{"E1", experiments.E1},
+		{"E2", experiments.E2},
+		{"E3", experiments.E3},
+		{"E4", experiments.E4},
+		{"T1", def(experiments.T1, 30)},
+		{"T2", def(experiments.T2, 30)},
+		{"T3", def(experiments.T3, 30)},
+		{"T3B", def(experiments.T3b, 30)},
+		{"T4", def(experiments.T4, 100)},
+		{"T5", def(experiments.T5, 20)},
+		{"T7", def(experiments.T7, 30)},
+		{"A1", def(experiments.A1, 30)},
+		{"A2", def(experiments.A2, 20)},
+	}
+
+	want := map[string]bool{}
+	if *which != "" {
+		for _, id := range strings.Split(*which, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	fail := false
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		r, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+		ran++
+		if !r.Passed {
+			fail = true
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matches -t %q\n", *which)
+		os.Exit(2)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,35 @@
+// Command figures regenerates every figure of Sarkar & Simons (SPAA '96) —
+// Figures 1, 2, 3, and 8 — and checks each measured value against the
+// number printed in the paper. Exit status is nonzero if any check fails.
+//
+// Usage:
+//
+//	figures
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aisched/internal/experiments"
+)
+
+func main() {
+	fail := false
+	for _, f := range []func() (*experiments.Result, error){
+		experiments.E1, experiments.E2, experiments.E3, experiments.E4,
+	} {
+		r, err := f()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+		if !r.Passed {
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

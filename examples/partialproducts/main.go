@@ -1,0 +1,100 @@
+// Partial products: the paper's Figure 3 example end to end. The mini-C
+// fragment computes partial products of a zero-terminated sequence; the
+// loop body's multiply has a 4-cycle latency feeding the next iteration's
+// store, so the block-optimal schedule (5 cycles per iteration standalone)
+// sustains only one iteration every 7 cycles, while the anticipatory
+// schedule (6 cycles standalone) sustains one every 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aisched"
+)
+
+const src = `
+int x[100];
+int y[100];
+int i;
+y[0] = x[0];
+for (i = 1; x[i] != 0; i = i + 1) {
+	y[i] = y[i-1] * x[i];
+}
+y[i] = 0;
+`
+
+// fig3Asm is the paper's hand-pipelined 5-instruction version of the same
+// loop (the store belongs to the previous iteration).
+const fig3Asm = `
+CL.18:
+	loadu  r6, 4(r7)
+	storeu r0, 4(r5)
+	cmpi   cr1, r6, 0
+	mul    r0, r6, r0
+	bt     cr1, CL.18
+`
+
+func main() {
+	m := aisched.SingleUnit(4)
+
+	// --- The paper's exact 5-instruction loop ----------------------------
+	blocks, err := aisched.ParseAsm(fig3Asm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := aisched.BuildLoopGraph(blocks[0].Instrs)
+	progOrder := identity(g.Len())
+	prog, err := aisched.EvaluateLoopOrder(g, m, progOrder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := aisched.ScheduleLoop(g, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("paper's Figure 3 loop (after software pipelining):")
+	fmt.Printf("  block-optimal order: %d cycles standalone, %d cycles/iter steady state\n",
+		prog.Makespan, prog.II)
+	fmt.Printf("  anticipatory order:  %d cycles standalone, %d cycles/iter steady state\n",
+		best.Makespan, best.II)
+	fmt.Println("  anticipatory body:")
+	for _, id := range best.Order {
+		fmt.Printf("\t%s\n", blocks[0].Instrs[id].Mnemonic())
+	}
+
+	// --- The same loop compiled from C -----------------------------------
+	comp, err := aisched.CompileC(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body := comp.Body(comp.Loops[0])
+	cg := aisched.BuildLoopGraph(body)
+	cProg, err := aisched.EvaluateLoopOrder(cg, m, identity(cg.Len()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cBest, err := aisched.ScheduleLoop(cg, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame loop compiled from C (%d instructions, unpipelined):\n", len(body))
+	fmt.Printf("  program order: %d cycles/iter; anticipatory: %d cycles/iter\n",
+		cProg.II, cBest.II)
+
+	// --- Software pipelining + anticipatory post-pass --------------------
+	st, k, err := aisched.PipelineThenAnticipate(cg, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  software-pipelined kernel II: %d; after anticipatory post-pass: %d cycles/iter\n",
+		k.II, st.II)
+}
+
+func identity(n int) []aisched.NodeID {
+	out := make([]aisched.NodeID, n)
+	for i := range out {
+		out[i] = aisched.NodeID(i)
+	}
+	return out
+}

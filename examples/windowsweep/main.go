@@ -1,0 +1,77 @@
+// Window sweep: how the benefit of anticipatory scheduling grows with the
+// hardware lookahead window size W. Random traces are scheduled by
+// Algorithm Lookahead and by purely local baselines, then executed on the
+// window simulator for W ∈ {1, 2, 4, 8, 16}. At W = 1 the hardware cannot
+// overlap blocks, so all schedulers tie; as W grows, only the anticipatory
+// schedules expose trailing idle slots for the window to fill.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aisched"
+	"aisched/internal/baseline"
+	"aisched/internal/tables"
+	"aisched/internal/workload"
+)
+
+func main() {
+	const instances = 20
+	windows := []int{1, 2, 4, 8, 16}
+
+	sum := map[string][]float64{}
+	names := []string{"anticipatory", "rank-local", "critical-path", "source-order"}
+	for _, n := range names {
+		sum[n] = make([]float64, len(windows))
+	}
+
+	for i := 0; i < instances; i++ {
+		r := rand.New(rand.NewSource(int64(100 + i)))
+		g, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for wi, w := range windows {
+			m := aisched.SingleUnit(w)
+
+			res, err := aisched.ScheduleTrace(g, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim, err := aisched.SimulateTrace(g, m, res.StaticOrder())
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum["anticipatory"][wi] += float64(sim.Completion)
+
+			for _, b := range []baseline.Scheduler{baseline.RankLocal{}, baseline.CriticalPath{}, baseline.SourceOrder{}} {
+				order, err := baseline.ScheduleTrace(b, g, m)
+				if err != nil {
+					log.Fatal(err)
+				}
+				s, err := aisched.SimulateTrace(g, m, order)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum[b.Name()][wi] += float64(s.Completion)
+			}
+		}
+	}
+
+	t := tables.New(
+		fmt.Sprintf("mean dynamic completion over %d random traces", instances),
+		"scheduler", "W=1", "W=2", "W=4", "W=8", "W=16")
+	for _, n := range names {
+		row := []interface{}{n}
+		for wi := range windows {
+			row = append(row, sum[n][wi]/instances)
+		}
+		t.Add(row...)
+	}
+	fmt.Println(t)
+	fmt.Println("reading: lower is better; anticipatory ≤ rank-local everywhere,")
+	fmt.Println("with the gap opening as W grows and closing again once blocks")
+	fmt.Println("have no trailing idle slots left to expose.")
+}

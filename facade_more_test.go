@@ -1,0 +1,172 @@
+package aisched
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeProgram = `
+int n;
+int s;
+int i;
+int d[16];
+n = 12;
+s = 1;
+for (i = 0; i < 5; i = i + 1) {
+	d[i] = s + i;
+	s = s * 2;
+}
+if (s > n) { s = s - n; }
+d[5] = s;
+`
+
+func TestFacadeInterpret(t *testing.T) {
+	comp, err := CompileC(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Interpret(comp.Blocks, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s: 1→2→4→8→16→32; 32 > 12 → 32−12 = 20. d = {1, 3, 6, 11, 20}.
+	// Arrays base at 0x1000 (n? order of decl: d is the only array → r1,
+	// base 0x1000).
+	want := []int64{1, 3, 6, 11, 20}
+	for i, w := range want {
+		if got := st.Mem[0x1000+int64(i*4)]; got != w {
+			t.Fatalf("d[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if st.Mem[0x1000+5*4] != 20 {
+		t.Fatalf("d[5] = %d, want 20", st.Mem[0x1000+5*4])
+	}
+}
+
+func TestFacadeScheduleInterpretRoundTrip(t *testing.T) {
+	comp, err := CompileC(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Interpret(comp.Blocks, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs [][]Instr
+	for _, b := range comp.Blocks {
+		seqs = append(seqs, b.Instrs)
+	}
+	g := BuildTraceGraph(seqs)
+	res, err := ScheduleTrace(g, SingleUnit(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := EmitTrace(comp.Blocks, res.BlockOrders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseAsm(out)
+	if err != nil {
+		t.Fatalf("emitted assembly does not parse: %v\n%s", err, out)
+	}
+	after, err := Interpret(reparsed, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, v := range before.Mem {
+		if after.Mem[addr] != v {
+			t.Fatalf("mem[%d]: %d vs %d after scheduling", addr, v, after.Mem[addr])
+		}
+	}
+}
+
+func TestFacadeBuildCFGAndHotTrace(t *testing.T) {
+	comp, err := CompileC(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildCFG(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs, blocks := g.HotTrace()
+	if len(blocks) == 0 || len(instrs) == 0 {
+		t.Fatal("empty hot trace")
+	}
+	// The loop body must be on the hot trace.
+	w := g.Weights()
+	hottest := 0
+	for i := range w {
+		if w[i] > w[hottest] {
+			hottest = i
+		}
+	}
+	found := false
+	for _, b := range blocks {
+		if b == hottest {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hot trace %v misses the heaviest block %d", blocks, hottest)
+	}
+}
+
+func TestFacadeRenameProgramSafe(t *testing.T) {
+	comp, err := CompileC(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Interpret(comp.Blocks, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := RenameProgram(comp.Blocks)
+	after, err := Interpret(renamed, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, v := range before.Mem {
+		if after.Mem[addr] != v {
+			t.Fatalf("mem[%d]: %d vs %d after renaming", addr, v, after.Mem[addr])
+		}
+	}
+}
+
+func TestFacadeUnrollLoop(t *testing.T) {
+	comp, err := CompileC(facadeProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Loops) != 1 {
+		t.Fatalf("loops = %d", len(comp.Loops))
+	}
+	body := comp.Body(comp.Loops[0])
+	g := BuildLoopGraph(body)
+	m := SingleUnit(8)
+	base, err := ScheduleLoop(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := UnrollLoop(g, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.PerIteration() > float64(base.II)+1e-9 {
+		t.Fatalf("unrolled per-iteration %.2f worse than base II %d", u.PerIteration(), base.II)
+	}
+}
+
+func TestFacadeEmitLoop(t *testing.T) {
+	blocks, err := ParseAsm("L:\n\tli r1, 1\n\tli r2, 2\n\tbt cr0, L\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := EmitLoop(blocks[0], []NodeID{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "L:") || strings.Index(out, "li r2, 2") > strings.Index(out, "li r1, 1") {
+		t.Fatalf("emission wrong:\n%s", out)
+	}
+}

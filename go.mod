@@ -1,0 +1,3 @@
+module aisched
+
+go 1.22

@@ -1,0 +1,244 @@
+// Package baseline implements the local instruction schedulers the paper
+// compares against (§6, Related Work), all as priority-list schedulers over
+// the same greedy engine:
+//
+//   - SourceOrder: the unscheduled program order (what the front end emits);
+//   - CriticalPath: Warren's RS/6000-style greedy scheduling on a
+//     prioritized list, with priority = longest latency-weighted path to a
+//     sink (the standard list-scheduling heuristic);
+//   - GibbonsMuchnick: the O(n²) heuristic of Gibbons & Muchnick '86 —
+//     priority by (critical path, immediate-successor count, total
+//     successor count), scheduled greedily;
+//   - CoffmanGraham: lexicographic labeling (Coffman & Graham '72), the
+//     basis of Bernstein & Gertner's optimal algorithm for latencies ≤ 1.
+//
+// Every scheduler here is per-block ("local"): it never accounts for
+// instruction overlap across basic-block boundaries, which is exactly the
+// gap anticipatory scheduling closes. ScheduleTrace applies a local
+// scheduler block by block and concatenates the block orders.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// Scheduler produces a static instruction order for one basic block graph.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment tables.
+	Name() string
+	// Order returns the static instruction order for the block.
+	Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error)
+}
+
+// SourceOrder emits instructions in original program order.
+type SourceOrder struct{}
+
+// Name implements Scheduler.
+func (SourceOrder) Name() string { return "source-order" }
+
+// Order implements Scheduler.
+func (SourceOrder) Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	return sched.SourceOrder(g), nil
+}
+
+// CriticalPath is greedy list scheduling with longest-path-to-sink priority
+// (Warren '90 style).
+type CriticalPath struct{}
+
+// Name implements Scheduler.
+func (CriticalPath) Name() string { return "critical-path" }
+
+// Order implements Scheduler.
+func (CriticalPath) Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	cp, err := g.CriticalPathLengths()
+	if err != nil {
+		return nil, err
+	}
+	order := sched.SourceOrder(g)
+	sort.SliceStable(order, func(a, b int) bool { return cp[order[a]] > cp[order[b]] })
+	s, err := sched.ListSchedule(g, m, order)
+	if err != nil {
+		return nil, err
+	}
+	return s.Permutation(), nil
+}
+
+// GibbonsMuchnick prioritizes by critical path, then by whether the node
+// has an immediate successor with a latency constraint, then by total
+// descendant count — the lookahead heuristics of their §3.
+type GibbonsMuchnick struct{}
+
+// Name implements Scheduler.
+func (GibbonsMuchnick) Name() string { return "gibbons-muchnick" }
+
+// Order implements Scheduler.
+func (GibbonsMuchnick) Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	cp, err := g.CriticalPathLengths()
+	if err != nil {
+		return nil, err
+	}
+	desc, err := g.Descendants()
+	if err != nil {
+		return nil, err
+	}
+	latSucc := make([]int, g.Len())
+	for v := 0; v < g.Len(); v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Distance == 0 && e.Latency > 0 {
+				latSucc[v]++
+			}
+		}
+	}
+	order := sched.SourceOrder(g)
+	sort.SliceStable(order, func(a, b int) bool {
+		x, y := order[a], order[b]
+		if cp[x] != cp[y] {
+			return cp[x] > cp[y]
+		}
+		if latSucc[x] != latSucc[y] {
+			return latSucc[x] > latSucc[y]
+		}
+		return desc[x].Count() > desc[y].Count()
+	})
+	s, err := sched.ListSchedule(g, m, order)
+	if err != nil {
+		return nil, err
+	}
+	return s.Permutation(), nil
+}
+
+// CoffmanGraham computes the classic lexicographic labels over the
+// transitive reduction and schedules greedily in decreasing label order —
+// optimal for two identical processors with zero latencies, and the
+// skeleton of Bernstein & Gertner's single-processor 0/1-latency algorithm.
+type CoffmanGraham struct{}
+
+// Name implements Scheduler.
+func (CoffmanGraham) Name() string { return "coffman-graham" }
+
+// Order implements Scheduler.
+func (CoffmanGraham) Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.Len()
+	label := make([]int, n)
+	next := 1
+	// Process in reverse topological order; among unlabeled candidates whose
+	// successors are all labeled, pick the one with the lexicographically
+	// smallest (decreasing) successor label list.
+	assigned := make([]bool, n)
+	succLabels := func(v graph.NodeID) []int {
+		var ls []int
+		for _, e := range g.Out(v) {
+			if e.Distance == 0 {
+				ls = append(ls, label[e.Dst])
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(ls)))
+		return ls
+	}
+	for range order {
+		bestIdx := -1
+		var bestLabels []int
+		for v := 0; v < n; v++ {
+			if assigned[v] {
+				continue
+			}
+			ok := true
+			for _, e := range g.Out(graph.NodeID(v)) {
+				if e.Distance == 0 && !assigned[e.Dst] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ls := succLabels(graph.NodeID(v))
+			if bestIdx < 0 || lexLess(ls, bestLabels) {
+				bestIdx = v
+				bestLabels = ls
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("baseline: coffman-graham labeling stuck")
+		}
+		label[bestIdx] = next
+		next++
+		assigned[bestIdx] = true
+	}
+	prio := sched.SourceOrder(g)
+	sort.SliceStable(prio, func(a, b int) bool { return label[prio[a]] > label[prio[b]] })
+	s, err := sched.ListSchedule(g, m, prio)
+	if err != nil {
+		return nil, err
+	}
+	return s.Permutation(), nil
+}
+
+// lexLess reports whether a < b lexicographically (shorter prefix wins).
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// RankLocal schedules each block with the Rank Algorithm (the paper's
+// optimal local scheduler) but without any anticipation of later blocks —
+// the strongest purely-local baseline.
+type RankLocal struct{}
+
+// Name implements Scheduler.
+func (RankLocal) Name() string { return "rank-local" }
+
+// Order implements Scheduler.
+func (RankLocal) Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	s, err := rank.Makespan(g, m)
+	if err != nil {
+		return nil, err
+	}
+	return s.Permutation(), nil
+}
+
+// All returns every baseline scheduler, for experiment sweeps.
+func All() []Scheduler {
+	return []Scheduler{SourceOrder{}, CriticalPath{}, GibbonsMuchnick{}, CoffmanGraham{}, RankLocal{}}
+}
+
+// ScheduleTrace applies a local scheduler to each block of a trace graph
+// independently and returns the concatenated static order — the
+// "local scheduling" regime every baseline operates in.
+func ScheduleTrace(s Scheduler, g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	var order []graph.NodeID
+	for _, b := range sched.Blocks(g) {
+		keep := map[graph.NodeID]bool{}
+		for v := 0; v < g.Len(); v++ {
+			if g.Node(graph.NodeID(v)).Block == b {
+				keep[graph.NodeID(v)] = true
+			}
+		}
+		sub, ids := g.Induced(keep)
+		blockOrder, err := s.Order(sub, m)
+		if err != nil {
+			return nil, err
+		}
+		if len(blockOrder) != sub.Len() {
+			return nil, fmt.Errorf("baseline %s: emitted %d of %d instructions", s.Name(), len(blockOrder), sub.Len())
+		}
+		for _, si := range blockOrder {
+			order = append(order, ids[si])
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,46 @@
+package baseline
+
+import (
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+)
+
+// GlobalTrace is the unsafe global comparator the paper positions
+// anticipatory scheduling against (§6, "Beyond basic blocks"): it schedules
+// the whole trace as if it were one giant basic block, freely moving
+// instructions across block boundaries (trace scheduling without the
+// bookkeeping). Its completion time is a lower-bound-style target — what a
+// fully global scheduler could reach if safety, rollback and
+// serviceability were free — so the interesting measurement is how much of
+// the (global − local) gap anticipatory scheduling closes while never
+// moving an instruction across a block boundary.
+//
+// The emitted "order" intentionally ignores block structure; simulating it
+// as a static stream is only meaningful with the window large enough to
+// realize the motion, so experiment T7 reports its unwindowed greedy
+// makespan as the target line rather than a windowed simulation.
+type GlobalTrace struct{}
+
+// Name implements Scheduler.
+func (GlobalTrace) Name() string { return "global-unsafe" }
+
+// Order implements Scheduler: rank_alg over the entire graph, block
+// boundaries ignored.
+func (GlobalTrace) Order(g *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	s, err := rank.Makespan(g, m)
+	if err != nil {
+		return nil, err
+	}
+	return s.Permutation(), nil
+}
+
+// GlobalMakespan returns the greedy makespan of the global schedule — the
+// target line for T7.
+func GlobalMakespan(g *graph.Graph, m *machine.Machine) (int, error) {
+	s, err := rank.Makespan(g, m)
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan(), nil
+}

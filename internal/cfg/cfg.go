@@ -1,0 +1,244 @@
+// Package cfg builds control-flow graphs over compiled basic blocks and
+// selects scheduling traces from them — the substrate that connects this
+// repository's trace scheduler to whole programs. Trace selection follows
+// Fisher's mutually-most-likely heuristic (the paper's §6 reference [7]):
+// pick the heaviest unvisited block, grow the trace forward along the most
+// probable successor edges (only when the successor's most probable
+// predecessor is the current block) and backward symmetrically.
+//
+// Edge probabilities come from static branch prediction (backward branches
+// predicted taken, forward branches slightly not-taken) or from an injected
+// profile.
+package cfg
+
+import (
+	"fmt"
+
+	"aisched/internal/isa"
+	"aisched/internal/minic"
+)
+
+// Edge is one control-flow edge with its taken probability.
+type Edge struct {
+	To   int
+	Prob float64
+}
+
+// Block is one CFG node.
+type Block struct {
+	Index  int
+	Label  string
+	Instrs []isa.Instr
+	Succs  []Edge
+	Preds  []Edge // Prob is the probability of the *source's* edge here
+}
+
+// CFG is a control-flow graph over compiled blocks. Block 0 is the entry.
+type CFG struct {
+	Blocks []*Block
+	byName map[string]int
+}
+
+// Static branch prediction probabilities.
+const (
+	probBackwardTaken = 0.9 // loop back edges
+	probForwardTaken  = 0.4 // forward conditionals slightly not-taken
+)
+
+// FromCompiled builds the CFG of a mini-C compilation unit.
+func FromCompiled(c *minic.Compiled) (*CFG, error) {
+	g := &CFG{byName: map[string]int{}}
+	for i, b := range c.Blocks {
+		nb := &Block{Index: i, Label: b.Label, Instrs: b.Instrs}
+		g.Blocks = append(g.Blocks, nb)
+		if b.Label != "" {
+			g.byName[b.Label] = i
+		}
+	}
+	for i, b := range g.Blocks {
+		var last *isa.Instr
+		if len(b.Instrs) > 0 {
+			last = &b.Instrs[len(b.Instrs)-1]
+		}
+		fall := i + 1
+		switch {
+		case last != nil && last.Op == isa.B:
+			to, ok := g.byName[last.Target]
+			if !ok {
+				return nil, fmt.Errorf("cfg: unknown branch target %q", last.Target)
+			}
+			b.Succs = append(b.Succs, Edge{To: to, Prob: 1})
+		case last != nil && (last.Op == isa.BT || last.Op == isa.BF):
+			to, ok := g.byName[last.Target]
+			if !ok {
+				return nil, fmt.Errorf("cfg: unknown branch target %q", last.Target)
+			}
+			taken := probForwardTaken
+			if to <= i {
+				taken = probBackwardTaken
+			}
+			b.Succs = append(b.Succs, Edge{To: to, Prob: taken})
+			if fall < len(g.Blocks) {
+				b.Succs = append(b.Succs, Edge{To: fall, Prob: 1 - taken})
+			}
+		default:
+			if fall < len(g.Blocks) {
+				b.Succs = append(b.Succs, Edge{To: fall, Prob: 1})
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			g.Blocks[e.To].Preds = append(g.Blocks[e.To].Preds, Edge{To: b.Index, Prob: e.Prob})
+		}
+	}
+	return g, nil
+}
+
+// SetProfile overrides the successor probabilities of one block; the slice
+// must match the block's successor count and sum to ~1.
+func (g *CFG) SetProfile(block int, probs []float64) error {
+	if block < 0 || block >= len(g.Blocks) {
+		return fmt.Errorf("cfg: block %d out of range", block)
+	}
+	b := g.Blocks[block]
+	if len(probs) != len(b.Succs) {
+		return fmt.Errorf("cfg: %d probabilities for %d successors", len(probs), len(b.Succs))
+	}
+	for i := range probs {
+		b.Succs[i].Prob = probs[i]
+	}
+	// Rebuild pred mirror.
+	for _, nb := range g.Blocks {
+		nb.Preds = nb.Preds[:0]
+	}
+	for _, nb := range g.Blocks {
+		for _, e := range nb.Succs {
+			g.Blocks[e.To].Preds = append(g.Blocks[e.To].Preds, Edge{To: nb.Index, Prob: e.Prob})
+		}
+	}
+	return nil
+}
+
+// Weights estimates block execution frequencies by damped flow propagation
+// from the entry (weight 1). With back-edge probabilities < 1 the iteration
+// is a convergent geometric series; it is cut off after a fixed number of
+// rounds, which also bounds the effect of irreducible shapes.
+func (g *CFG) Weights() []float64 {
+	n := len(g.Blocks)
+	w := make([]float64, n)
+	if n == 0 {
+		return w
+	}
+	const rounds = 64
+	cur := make([]float64, n)
+	cur[0] = 1
+	for r := 0; r < rounds; r++ {
+		next := make([]float64, n)
+		for i, b := range g.Blocks {
+			if cur[i] == 0 {
+				continue
+			}
+			w[i] += cur[i]
+			for _, e := range b.Succs {
+				next[e.To] += cur[i] * e.Prob
+			}
+		}
+		cur = next
+	}
+	return w
+}
+
+// SelectTraces partitions the blocks into traces by Fisher's
+// mutually-most-likely heuristic, heaviest-seed first. Every block appears
+// in exactly one trace; trace blocks are in control-flow order.
+func (g *CFG) SelectTraces() [][]int {
+	n := len(g.Blocks)
+	weights := g.Weights()
+	visited := make([]bool, n)
+	var traces [][]int
+
+	mostLikelySucc := func(i int) (int, bool) {
+		best, bp := -1, 0.0
+		for _, e := range g.Blocks[i].Succs {
+			if e.Prob > bp {
+				best, bp = e.To, e.Prob
+			}
+		}
+		return best, best >= 0
+	}
+	mostLikelyPred := func(i int) (int, bool) {
+		best, bp := -1, 0.0
+		for _, e := range g.Blocks[i].Preds {
+			contribution := e.Prob * weights[e.To]
+			if contribution > bp {
+				best, bp = e.To, contribution
+			}
+		}
+		return best, best >= 0
+	}
+
+	for {
+		seed, sw := -1, -1.0
+		for i := 0; i < n; i++ {
+			if !visited[i] && weights[i] > sw {
+				seed, sw = i, weights[i]
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		trace := []int{seed}
+		visited[seed] = true
+		// Grow forward.
+		for cur := seed; ; {
+			s, ok := mostLikelySucc(cur)
+			if !ok || visited[s] {
+				break
+			}
+			if p, ok2 := mostLikelyPred(s); !ok2 || p != cur {
+				break // not mutually most likely
+			}
+			trace = append(trace, s)
+			visited[s] = true
+			cur = s
+		}
+		// Grow backward from the seed.
+		for cur := seed; ; {
+			p, ok := mostLikelyPred(cur)
+			if !ok || visited[p] {
+				break
+			}
+			if s, ok2 := mostLikelySucc(p); !ok2 || s != cur {
+				break
+			}
+			trace = append([]int{p}, trace...)
+			visited[p] = true
+			cur = p
+		}
+		traces = append(traces, trace)
+	}
+	return traces
+}
+
+// TraceInstrs returns the instruction sequences of a selected trace, ready
+// for deps.BuildTrace.
+func (g *CFG) TraceInstrs(trace []int) [][]isa.Instr {
+	var out [][]isa.Instr
+	for _, bi := range trace {
+		if len(g.Blocks[bi].Instrs) > 0 {
+			out = append(out, g.Blocks[bi].Instrs)
+		}
+	}
+	return out
+}
+
+// HotTrace returns the heaviest trace's instruction sequences (the first
+// trace from SelectTraces) together with its block indices.
+func (g *CFG) HotTrace() ([][]isa.Instr, []int) {
+	traces := g.SelectTraces()
+	if len(traces) == 0 {
+		return nil, nil
+	}
+	return g.TraceInstrs(traces[0]), traces[0]
+}

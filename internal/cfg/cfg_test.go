@@ -1,0 +1,220 @@
+package cfg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/deps"
+	"aisched/internal/minic"
+	"aisched/internal/workload"
+)
+
+func compile(t *testing.T, src string) *minic.Compiled {
+	t.Helper()
+	c, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const branchy = `
+int a;
+int b;
+a = 1;
+if (a > 0) { b = 2; } else { b = 3; }
+b = b + 1;
+`
+
+const loopy = `
+int i;
+int s;
+s = 0;
+for (i = 0; i < 10; i = i + 1) { s = s + i; }
+s = s * 2;
+`
+
+func TestFromCompiledBranchShape(t *testing.T) {
+	g, err := FromCompiled(compile(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry block ends in BF: two successors whose probabilities sum to 1.
+	var brBlock *Block
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.IsBranch() && in.Target != "" && len(b.Succs) == 2 {
+				brBlock = b
+			}
+		}
+	}
+	if brBlock == nil {
+		t.Fatal("no two-way block found")
+	}
+	sum := 0.0
+	for _, e := range brBlock.Succs {
+		sum += e.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("branch probabilities sum to %f", sum)
+	}
+}
+
+func TestWeightsLoopBodyHeavy(t *testing.T) {
+	g, err := FromCompiled(compile(t, loopy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := g.Weights()
+	// The loop body block (ends in a backward BT) must be the heaviest.
+	bodyIdx := -1
+	for i, b := range g.Blocks {
+		if n := len(b.Instrs); n > 0 {
+			last := b.Instrs[n-1]
+			if last.IsBranch() && last.Target != "" {
+				if to, ok := g.byName[last.Target]; ok && to <= i {
+					bodyIdx = i
+				}
+			}
+		}
+	}
+	if bodyIdx < 0 {
+		t.Fatal("no loop body found")
+	}
+	for i := range w {
+		if i != bodyIdx && w[i] > w[bodyIdx] {
+			t.Fatalf("block %d (%.2f) heavier than loop body %d (%.2f)", i, w[i], bodyIdx, w[bodyIdx])
+		}
+	}
+	// Back-edge probability 0.9 → body weight ≈ entry × 1/(1−0.9) ≈ 10.
+	if w[bodyIdx] < 5 {
+		t.Fatalf("loop body weight %.2f implausibly low", w[bodyIdx])
+	}
+}
+
+func TestSelectTracesPartition(t *testing.T) {
+	g, err := FromCompiled(compile(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := g.SelectTraces()
+	seen := map[int]bool{}
+	for _, tr := range traces {
+		for _, b := range tr {
+			if seen[b] {
+				t.Fatalf("block %d in two traces", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != len(g.Blocks) {
+		t.Fatalf("traces cover %d of %d blocks", len(seen), len(g.Blocks))
+	}
+	// The hot trace follows the fall-through (not-taken) side of the
+	// forward branch: it must contain more than one block.
+	if len(traces[0]) < 2 {
+		t.Fatalf("hot trace too short: %v", traces[0])
+	}
+}
+
+func TestHotTraceSchedulable(t *testing.T) {
+	g, err := FromCompiled(compile(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs, blocks := g.HotTrace()
+	if len(instrs) == 0 || len(blocks) == 0 {
+		t.Fatal("empty hot trace")
+	}
+	tg := deps.BuildTrace(instrs)
+	if !tg.IsAcyclic() {
+		t.Fatal("hot trace graph cyclic")
+	}
+}
+
+func TestSetProfileOverridesSelection(t *testing.T) {
+	g, err := FromCompiled(compile(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the two-way block and force the taken side to probability 1.
+	for i, b := range g.Blocks {
+		if len(b.Succs) == 2 {
+			if err := g.SetProfile(i, []float64{1, 0}); err != nil {
+				t.Fatal(err)
+			}
+			if g.Blocks[b.Succs[0].To].Preds[0].Prob != 1 && len(g.Blocks[b.Succs[0].To].Preds) > 0 {
+				// pred mirror rebuilt; probability visible from the To side
+				found := false
+				for _, p := range g.Blocks[b.Succs[0].To].Preds {
+					if p.To == i && p.Prob == 1 {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatal("pred mirror not rebuilt")
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("no two-way block found")
+}
+
+func TestSetProfileValidation(t *testing.T) {
+	g, err := FromCompiled(compile(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetProfile(-1, nil); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if err := g.SetProfile(0, []float64{0.5, 0.25, 0.25}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestPropertyCFGOnRandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := workload.RandomProgram(r, 4)
+		comp, err := minic.Compile(src)
+		if err != nil {
+			return false
+		}
+		g, err := FromCompiled(comp)
+		if err != nil {
+			return false
+		}
+		// Successor probabilities of every block sum to 1 (or 0 for exits).
+		for _, b := range g.Blocks {
+			sum := 0.0
+			for _, e := range b.Succs {
+				if e.To < 0 || e.To >= len(g.Blocks) {
+					return false
+				}
+				sum += e.Prob
+			}
+			if len(b.Succs) > 0 && math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		// Traces partition the blocks.
+		traces := g.SelectTraces()
+		seen := map[int]bool{}
+		for _, tr := range traces {
+			for _, bi := range tr {
+				if seen[bi] {
+					return false
+				}
+				seen[bi] = true
+			}
+		}
+		return len(seen) == len(g.Blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/sched"
+)
+
+// mkSched builds a single-unit schedule with the given start times.
+func mkSched(t *testing.T, starts []int) *sched.Schedule {
+	t.Helper()
+	g := graph.New(len(starts))
+	for range starts {
+		g.AddUnit("n")
+	}
+	s := sched.New(g, machine.SingleUnit(4))
+	for i, st := range starts {
+		s.Start[i] = st
+		s.Unit[i] = 0
+	}
+	return s
+}
+
+func TestChopNoIdleSlotsKeepsEverything(t *testing.T) {
+	s := mkSched(t, []int{0, 1, 2, 3})
+	minus, plus, base := Chop(s, 2)
+	if len(minus) != 0 || len(plus) != 4 || base != 0 {
+		t.Fatalf("chop = (%v, %v, %d), want keep-all", minus, plus, base)
+	}
+}
+
+func TestChopFewerThanWNodesKeepsEverything(t *testing.T) {
+	s := mkSched(t, []int{0, 2}) // idle at 1
+	minus, plus, base := Chop(s, 3)
+	if len(minus) != 0 || len(plus) != 2 || base != 0 {
+		t.Fatalf("chop = (%v, %v, %d), want keep-all (|S| < W)", minus, plus, base)
+	}
+}
+
+func TestChopAtLastQualifyingSlot(t *testing.T) {
+	// Schedule: n0 n1 _ n2 n3 _ n4 n5 — slots at 2 and 5.
+	s := mkSched(t, []int{0, 1, 3, 4, 6, 7})
+	// W=2: slot 5 has 2 followers (≥ W) → chop there; slot 2 not chosen
+	// because 5 is later.
+	minus, plus, base := Chop(s, 2)
+	if base != 6 {
+		t.Fatalf("base = %d, want 6 (slot at 5)", base)
+	}
+	if len(minus) != 4 || len(plus) != 2 {
+		t.Fatalf("minus=%v plus=%v", minus, plus)
+	}
+	// W=3: slot 5 has only 2 followers < 3; slot 2 has 4 ≥ 3 → chop at 2.
+	minus, plus, base = Chop(s, 3)
+	if base != 3 {
+		t.Fatalf("W=3 base = %d, want 3 (slot at 2)", base)
+	}
+	if len(minus) != 2 || len(plus) != 4 {
+		t.Fatalf("W=3 minus=%v plus=%v", minus, plus)
+	}
+	// W=5: no slot has ≥ 5 followers → keep everything.
+	minus, plus, base = Chop(s, 5)
+	if base != 0 || len(minus) != 0 {
+		t.Fatalf("W=5 chop = (%v, %v, %d), want keep-all", minus, plus, base)
+	}
+}
+
+func TestChopOutputsAreInScheduleOrder(t *testing.T) {
+	s := mkSched(t, []int{3, 0, 4, 1, 6, 7}) // perm: n1 n3 _ n0 n2 _ n4 n5
+	minus, plus, base := Chop(s, 2)
+	if base != 6 {
+		t.Fatalf("base = %d, want 6", base)
+	}
+	wantMinus := []graph.NodeID{1, 3, 0, 2}
+	for i := range wantMinus {
+		if minus[i] != wantMinus[i] {
+			t.Fatalf("minus = %v, want %v", minus, wantMinus)
+		}
+	}
+	wantPlus := []graph.NodeID{4, 5}
+	for i := range wantPlus {
+		if plus[i] != wantPlus[i] {
+			t.Fatalf("plus = %v, want %v", plus, wantPlus)
+		}
+	}
+}
+
+func TestChopWindowOneChopsAtLastSlot(t *testing.T) {
+	// W=1: every slot with ≥ 1 follower qualifies; chop at the last one.
+	s := mkSched(t, []int{0, 2, 4})
+	_, plus, base := Chop(s, 1)
+	if base != 4 {
+		t.Fatalf("W=1 base = %d, want 4", base)
+	}
+	if len(plus) != 1 || plus[0] != 2 {
+		t.Fatalf("plus = %v", plus)
+	}
+}

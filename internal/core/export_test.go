@@ -1,0 +1,11 @@
+package core
+
+import (
+	"aisched/internal/graph"
+	"aisched/internal/sched"
+)
+
+// Chop exposes the chop step for white-box tests.
+func Chop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
+	return chop(s, w)
+}

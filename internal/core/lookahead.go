@@ -1,0 +1,335 @@
+// Package core implements Algorithm Lookahead — anticipatory instruction
+// scheduling for a trace of basic blocks (Sarkar & Simons, SPAA '96, §4,
+// Figures 5–7).
+//
+// The algorithm walks the trace block by block, maintaining a carried suffix
+// `old` of not-yet-committed instructions. For each block it
+//
+//  1. merges old with the block's instructions: a minimum-makespan schedule
+//     of old ∪ new is computed with the Rank Algorithm, then re-computed
+//     under deadlines that confine old to its standalone makespan (so new
+//     instructions only fill idle slots among old, never displace it),
+//     loosening the new instructions' deadlines until feasible;
+//  2. delays every idle slot as late as possible (Delay_Idle_Slots, §3);
+//  3. chops the schedule at the last idle slot that still has at least W−1
+//     instructions after it: the prefix is committed to the output (no
+//     future block can improve it), the suffix becomes the next `old`.
+//
+// The emitted result is a static per-block instruction order; instructions
+// never move across block boundaries (safety/serviceability), yet the
+// predicted schedule accounts for the hardware lookahead window of size W
+// filling trailing idle slots with next-block instructions. The algorithm is
+// provably optimal in the paper's restricted case (unit execution times, 0/1
+// latencies, single functional unit) and is the recommended heuristic
+// otherwise (§4.2).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aisched/internal/graph"
+	"aisched/internal/idle"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// Options tunes Algorithm Lookahead.
+type Options struct {
+	// Tie is the rank tie-break order in original node IDs (nil = program
+	// order). Used to reproduce the paper's worked examples exactly.
+	Tie []graph.NodeID
+	// SkipDelay disables the Delay_Idle_Slots pass (ablation experiment T2).
+	SkipDelay bool
+}
+
+// Result is the output of Algorithm Lookahead.
+type Result struct {
+	// Order is the predicted execution order for the whole trace: the
+	// concatenated committed prefixes, which may interleave adjacent blocks
+	// where the hardware window overlaps them at run time.
+	Order []graph.NodeID
+	// BlockOrders[b] is the static order of block b's instructions (the
+	// subpermutation P_b of Definition 2.1). The compiler emits exactly
+	// these orders — instructions never move across block boundaries.
+	BlockOrders map[int][]graph.NodeID
+	// S is the algorithm's predicted execution schedule, stitched from the
+	// committed prefixes at their absolute times. Its permutation is Order;
+	// its per-block subpermutations are BlockOrders.
+	S *sched.Schedule
+}
+
+// Makespan returns the predicted completion time of the trace.
+func (r *Result) Makespan() int { return r.S.Makespan() }
+
+// StaticOrder returns the emitted code: the per-block static orders
+// concatenated in block order. This is the instruction stream the hardware
+// fetches (use it with the hw simulator); Order is how the window is
+// predicted to execute it.
+func (r *Result) StaticOrder() []graph.NodeID {
+	var blocks []int
+	for b := range r.BlockOrders {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	var out []graph.NodeID
+	for _, b := range blocks {
+		out = append(out, r.BlockOrders[b]...)
+	}
+	return out
+}
+
+// Lookahead runs Algorithm Lookahead with default options.
+func Lookahead(g *graph.Graph, m *machine.Machine) (*Result, error) {
+	return LookaheadOpts(g, m, Options{})
+}
+
+// maxBump bounds the deadline-loosening loop in merge. The paper bounds it
+// by the largest latency (footnote 8); the node count covers degenerate
+// heuristic cases.
+func maxBump(g *graph.Graph) int {
+	maxLat := 1
+	for _, e := range g.Edges() {
+		if e.Latency > maxLat {
+			maxLat = e.Latency
+		}
+	}
+	return 4 * (g.Len() + maxLat + 2)
+}
+
+// LookaheadOpts runs Algorithm Lookahead (paper Figure 5).
+func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, error) {
+	if g.Len() == 0 {
+		return &Result{Order: nil, BlockOrders: map[int][]graph.NodeID{}, S: sched.New(g, m)}, nil
+	}
+	if !g.IsAcyclic() {
+		return nil, fmt.Errorf("core: trace graph has a loop-independent cycle")
+	}
+	blocks := sched.Blocks(g)
+	byBlock := make(map[int][]graph.NodeID)
+	for v := 0; v < g.Len(); v++ {
+		b := g.Node(graph.NodeID(v)).Block
+		byBlock[b] = append(byBlock[b], graph.NodeID(v))
+	}
+
+	tiePos := make([]int, g.Len())
+	if opt.Tie != nil {
+		for i, id := range opt.Tie {
+			tiePos[id] = i
+		}
+	} else {
+		for i := range tiePos {
+			tiePos[i] = i
+		}
+	}
+
+	var emitted []graph.NodeID
+	var oldIDs []graph.NodeID // original IDs carried forward
+	dOld := map[graph.NodeID]int{}
+	oldMakespan := 0
+	var plusOrder []graph.NodeID // S+ of the most recent iteration, original IDs
+	// Stitched absolute schedule: frames advance by each chop's base.
+	timeBase := 0
+	absStart := make([]int, g.Len())
+	absUnit := make([]int, g.Len())
+	for i := range absStart {
+		absStart[i] = sched.Unassigned
+		absUnit[i] = sched.Unassigned
+	}
+
+	for _, b := range blocks {
+		newIDs := byBlock[b]
+		// cur = old ∪ new, as an induced subgraph.
+		keep := make(map[graph.NodeID]bool, len(oldIDs)+len(newIDs))
+		for _, id := range oldIDs {
+			keep[id] = true
+		}
+		for _, id := range newIDs {
+			keep[id] = true
+		}
+		sub, ids := g.Induced(keep)
+		toSub := make(map[graph.NodeID]graph.NodeID, len(ids))
+		for si, oi := range ids {
+			toSub[oi] = graph.NodeID(si)
+		}
+		isOld := make([]bool, sub.Len())
+		for _, id := range oldIDs {
+			isOld[toSub[id]] = true
+		}
+		tie := subTie(ids, tiePos)
+
+		// ---- merge (paper Figure 7) ----
+		// Lower bound pass: every deadline = D.
+		res0, err := rank.Run(sub, m, rank.UniformDeadlines(sub.Len(), rank.Big), tie)
+		if err != nil {
+			return nil, err
+		}
+		t := res0.S.Makespan()
+		// Deadline assignment: old confined to its standalone makespan (or
+		// its previously committed tighter deadline), new bounded by T.
+		d := make([]int, sub.Len())
+		for si := 0; si < sub.Len(); si++ {
+			if isOld[si] {
+				d[si] = dOld[ids[si]]
+				if oldMakespan < d[si] {
+					d[si] = oldMakespan
+				}
+			} else {
+				d[si] = t
+			}
+		}
+		res, err := rank.Run(sub, m, d, tie)
+		if err != nil {
+			return nil, err
+		}
+		for bump := 0; !res.Feasible && bump <= maxBump(sub); bump++ {
+			for si := 0; si < sub.Len(); si++ {
+				if !isOld[si] {
+					d[si]++
+				}
+			}
+			res, err = rank.Run(sub, m, d, tie)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Heuristic-regime fallback (§4.2): with multiple units, multi-cycle
+		// instructions or long latencies, greedy-by-rank may miss even the
+		// old nodes' deadlines no matter how far the new deadlines are
+		// loosened. The paper guarantees a feasible schedule exists (old
+		// followed by new); rather than abort, sync every deadline to the
+		// achieved finish time so the pipeline proceeds with the best
+		// schedule found.
+		for tries := 0; !res.Feasible && tries < 30; tries++ {
+			changed := false
+			for si := 0; si < sub.Len(); si++ {
+				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
+					d[si] = f
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			res, err = rank.Run(sub, m, d, tie)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !res.Feasible {
+			for si := 0; si < sub.Len(); si++ {
+				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
+					d[si] = f
+				}
+			}
+		}
+		s := res.S
+
+		// ---- Delay_Idle_Slots ----
+		if !opt.SkipDelay {
+			s, d, err = idle.DelayIdleSlots(s, m, d, tie)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// ---- chop ----
+		minus, plus, base := chop(s, m.Window)
+		for _, si := range minus {
+			oi := ids[si]
+			emitted = append(emitted, oi)
+			absStart[oi] = s.Start[si] + timeBase
+			absUnit[oi] = s.Unit[si]
+		}
+		oldIDs = oldIDs[:0]
+		dOld = map[graph.NodeID]int{}
+		plusOrder = plusOrder[:0]
+		for _, si := range plus {
+			oi := ids[si]
+			oldIDs = append(oldIDs, oi)
+			dOld[oi] = d[si] - base
+			plusOrder = append(plusOrder, oi)
+			// Tentative placement; overwritten if a later merge reorders it.
+			absStart[oi] = s.Start[si] + timeBase
+			absUnit[oi] = s.Unit[si]
+		}
+		oldMakespan = s.Makespan() - base
+		timeBase += base
+	}
+	emitted = append(emitted, plusOrder...)
+
+	if len(emitted) != g.Len() {
+		return nil, fmt.Errorf("core: emitted %d of %d instructions", len(emitted), g.Len())
+	}
+	final := sched.New(g, m)
+	copy(final.Start, absStart)
+	copy(final.Unit, absUnit)
+	out := &Result{Order: emitted, BlockOrders: map[int][]graph.NodeID{}, S: final}
+	for _, id := range emitted {
+		b := g.Node(id).Block
+		out.BlockOrders[b] = append(out.BlockOrders[b], id)
+	}
+	return out, nil
+}
+
+// subTie converts the original-ID tie positions into a tie order over the
+// subgraph's IDs.
+func subTie(ids []graph.NodeID, tiePos []int) []graph.NodeID {
+	order := make([]graph.NodeID, len(ids))
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tiePos[ids[order[a]]] < tiePos[ids[order[b]]]
+	})
+	return order
+}
+
+// chop implements procedure Chop (paper Figure 6): split s at the last idle
+// slot t_j "prior to the last W nodes", i.e. the last slot with at least W
+// instructions after it. A slot with fewer than W followers is still
+// reachable by a next-block instruction at run time (the inversion would
+// span followers+1 ≤ W positions), so committing it would forfeit
+// optimality; a slot with ≥ W followers can never be filled across the
+// block boundary. Returns the prefix and suffix as subgraph IDs in
+// schedule-permutation order, and the time base (t_j + 1) by which suffix
+// deadlines must be rebased. When s has no idle slot, fewer than W
+// instructions, or no qualifying slot, the prefix is empty and everything
+// is carried forward (base 0).
+func chop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
+	perm := s.Permutation()
+	if len(perm) < w {
+		return nil, perm, 0
+	}
+	slotTimes := map[int]bool{}
+	for _, t := range s.IdleSlots() {
+		slotTimes[t] = true
+	}
+	j := -1
+	for t := range slotTimes {
+		follow := 0
+		for _, id := range perm {
+			if s.Start[id] > t {
+				follow++
+			}
+		}
+		if follow >= w && t > j {
+			j = t
+		}
+	}
+	if j < 0 {
+		return nil, perm, 0
+	}
+	for _, id := range perm {
+		if s.Finish(id) <= j {
+			minus = append(minus, id)
+		} else {
+			plus = append(plus, id)
+		}
+	}
+	if len(minus) == 0 {
+		return nil, perm, 0
+	}
+	return minus, plus, j + 1
+}

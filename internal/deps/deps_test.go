@@ -1,0 +1,225 @@
+package deps
+
+import (
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/isa"
+	"aisched/internal/loops"
+	"aisched/internal/machine"
+)
+
+// fig3Body returns the paper's Figure 3 loop body as parsed assembly.
+func fig3Body(t *testing.T) []isa.Instr {
+	t.Helper()
+	src := `
+CL.18:
+	loadu  r6, 4(r7)
+	storeu r0, 4(r5)
+	cmpi   cr1, r6, 0
+	mul    r0, r6, r0
+	bt     cr1, CL.1
+`
+	blocks, err := isa.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks[0].Instrs
+}
+
+func edgeLat(g *graph.Graph, src, dst graph.NodeID, distance int) (int, bool) {
+	for _, e := range g.Out(src) {
+		if e.Dst == dst && e.Distance == distance {
+			return e.Latency, true
+		}
+	}
+	return 0, false
+}
+
+func TestBuildLoopFigure3EdgeSet(t *testing.T) {
+	g := BuildLoop(fig3Body(t))
+	const (
+		L4 = graph.NodeID(0)
+		ST = graph.NodeID(1)
+		C4 = graph.NodeID(2)
+		M  = graph.NodeID(3)
+		BT = graph.NodeID(4)
+	)
+	// The paper's labeled dependences.
+	checks := []struct {
+		src, dst  graph.NodeID
+		lat, dst2 int
+		name      string
+	}{
+		{L4, C4, 1, 0, "L4→C4 <1,0> (r6)"},
+		{L4, M, 1, 0, "L4→M <1,0> (r6)"},
+		{C4, BT, 1, 0, "C4→BT <1,0> (cr1)"},
+		{M, ST, 4, 1, "M→ST <4,1> (r0 from previous iteration)"},
+		{M, M, 4, 1, "M→M <4,1> (accumulator)"},
+	}
+	for _, c := range checks {
+		lat, ok := edgeLat(g, c.src, c.dst, c.dst2)
+		if !ok {
+			t.Errorf("missing edge: %s", c.name)
+			continue
+		}
+		if lat != c.lat {
+			t.Errorf("%s: latency = %d, want %d", c.name, lat, c.lat)
+		}
+	}
+	// Control dependences into BT.
+	for _, src := range []graph.NodeID{L4, ST, C4, M} {
+		if _, ok := edgeLat(g, src, BT, 0); !ok {
+			t.Errorf("missing control edge %d→BT", src)
+		}
+	}
+	// Carried control from BT.
+	for _, dst := range []graph.NodeID{L4, ST, C4, M, BT} {
+		if _, ok := edgeLat(g, BT, dst, 1); !ok {
+			t.Errorf("missing carried control edge BT→%d", dst)
+		}
+	}
+	// The anti dependence that keeps the store before the multiply.
+	if _, ok := edgeLat(g, ST, M, 0); !ok {
+		t.Error("missing WAR edge ST→M <0,0> (r0)")
+	}
+	// x[] and y[] use distinct base registers: no cross memory dependence.
+	if _, ok := edgeLat(g, L4, ST, 0); ok {
+		t.Error("spurious memory edge L4→ST (distinct bases must not alias)")
+	}
+}
+
+func TestBuildLoopFigure3SteadyStatesMatchPaper(t *testing.T) {
+	// End-to-end: assembly → dependence analysis → steady-state model must
+	// reproduce the paper's numbers (schedule 1: 7 cycles/iter; schedule 2:
+	// 6), and the §5.2.3 general case must find the 6.
+	g := BuildLoop(fig3Body(t))
+	m := machine.SingleUnit(4)
+	s1, err := loops.Evaluate(g, m, []graph.NodeID{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Makespan != 5 || s1.II != 7 {
+		t.Fatalf("schedule1: makespan %d II %d, want 5/7", s1.Makespan, s1.II)
+	}
+	s2, err := loops.Evaluate(g, m, []graph.NodeID{0, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan != 6 || s2.II != 6 {
+		t.Fatalf("schedule2: makespan %d II %d, want 6/6", s2.Makespan, s2.II)
+	}
+	best, err := loops.ScheduleSingleBlockLoop(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.II != 6 {
+		t.Fatalf("general case II = %d, want 6", best.II)
+	}
+}
+
+func TestBuildBlockRegisterDeps(t *testing.T) {
+	// add r3,r1,r2 ; sub r4,r3,r1 (RAW r3) ; add r3,r4,r4 (WAW with 0, WAR from 1)
+	ins := []isa.Instr{
+		{Op: isa.ADD, Dst: isa.GPR(3), SrcA: isa.GPR(1), SrcB: isa.GPR(2)},
+		{Op: isa.SUB, Dst: isa.GPR(4), SrcA: isa.GPR(3), SrcB: isa.GPR(1)},
+		{Op: isa.ADD, Dst: isa.GPR(3), SrcA: isa.GPR(4), SrcB: isa.GPR(4)},
+	}
+	g := BuildBlock(ins, 0)
+	if _, ok := edgeLat(g, 0, 1, 0); !ok {
+		t.Error("missing RAW 0→1")
+	}
+	if _, ok := edgeLat(g, 0, 2, 0); !ok {
+		t.Error("missing WAW 0→2")
+	}
+	if _, ok := edgeLat(g, 1, 2, 0); !ok {
+		t.Error("missing RAW/WAR 1→2")
+	}
+	if lat, _ := edgeLat(g, 0, 1, 0); lat != 0 {
+		t.Errorf("ADD producer latency = %d, want 0", lat)
+	}
+}
+
+func TestBuildBlockLoadLatencyOnRAW(t *testing.T) {
+	ins := []isa.Instr{
+		{Op: isa.LOAD, Dst: isa.GPR(6), Base: isa.GPR(7), Imm: 0},
+		{Op: isa.ADD, Dst: isa.GPR(1), SrcA: isa.GPR(6), SrcB: isa.GPR(6)},
+	}
+	g := BuildBlock(ins, 0)
+	lat, ok := edgeLat(g, 0, 1, 0)
+	if !ok || lat != 1 {
+		t.Fatalf("load RAW latency = %d (ok=%v), want 1", lat, ok)
+	}
+}
+
+func TestMemoryDisambiguation(t *testing.T) {
+	// Same base, different constant offsets, no update: independent.
+	ins := []isa.Instr{
+		{Op: isa.STORE, SrcA: isa.GPR(1), Base: isa.GPR(5), Imm: 0},
+		{Op: isa.LOAD, Dst: isa.GPR(2), Base: isa.GPR(5), Imm: 4},
+	}
+	g := BuildBlock(ins, 0)
+	if _, ok := edgeLat(g, 0, 1, 0); ok {
+		t.Error("same base, different offsets must not alias")
+	}
+	// Same base, same offset: dependent.
+	ins[1].Imm = 0
+	g = BuildBlock(ins, 0)
+	if _, ok := edgeLat(g, 0, 1, 0); !ok {
+		t.Error("same base, same offset must alias")
+	}
+	// Update forms defeat offset reasoning.
+	ins2 := []isa.Instr{
+		{Op: isa.STOREU, SrcA: isa.GPR(1), Base: isa.GPR(5), Imm: 4},
+		{Op: isa.LOAD, Dst: isa.GPR(2), Base: isa.GPR(5), Imm: 8},
+	}
+	g = BuildBlock(ins2, 0)
+	// The LOAD reads the updated base: there is a register RAW 0→1 anyway;
+	// verify an edge exists.
+	if _, ok := edgeLat(g, 0, 1, 0); !ok {
+		t.Error("storeu must order against the following load")
+	}
+}
+
+func TestBuildTraceCrossBlockEdges(t *testing.T) {
+	b0 := []isa.Instr{
+		{Op: isa.LOAD, Dst: isa.GPR(6), Base: isa.GPR(7), Imm: 0},
+		{Op: isa.CMPI, Dst: isa.CR(0), SrcA: isa.GPR(6), Imm: 0},
+		{Op: isa.BT, SrcA: isa.CR(0), Target: "L"},
+	}
+	b1 := []isa.Instr{
+		{Op: isa.ADD, Dst: isa.GPR(1), SrcA: isa.GPR(6), SrcB: isa.GPR(6)},
+	}
+	g := BuildTrace([][]isa.Instr{b0, b1})
+	if g.Len() != 4 {
+		t.Fatalf("trace has %d nodes, want 4", g.Len())
+	}
+	if g.Node(3).Block != 1 {
+		t.Fatalf("block assignment wrong: %d", g.Node(3).Block)
+	}
+	// Cross-block RAW: load r6 (block 0) → add (block 1) with latency 1.
+	lat, ok := edgeLat(g, 0, 3, 0)
+	if !ok || lat != 1 {
+		t.Fatalf("cross-block RAW: lat=%d ok=%v, want 1", lat, ok)
+	}
+	// Control: block-0 instructions precede the block-0 branch.
+	if _, ok := edgeLat(g, 0, 2, 0); !ok {
+		t.Error("missing control edge load→bt")
+	}
+	// No control edge from the branch into the next block (speculation is
+	// the simulator's concern).
+	if _, ok := edgeLat(g, 2, 3, 0); ok {
+		t.Error("unexpected cross-block control edge")
+	}
+}
+
+func TestBuildLoopCarriedScalarRecurrence(t *testing.T) {
+	// s = s + x: carried RAW on s with ADD latency 0, plus self WAW.
+	ins := []isa.Instr{
+		{Op: isa.ADD, Dst: isa.GPR(8), SrcA: isa.GPR(8), SrcB: isa.GPR(9)},
+	}
+	g := BuildLoop(ins)
+	if _, ok := edgeLat(g, 0, 0, 1); !ok {
+		t.Fatal("missing carried self dependence on accumulator")
+	}
+}

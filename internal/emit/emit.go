@@ -1,0 +1,102 @@
+// Package emit renders scheduling results back to assembly text: the
+// post-pass output a compiler would write after anticipatory instruction
+// scheduling. Block labels and branch targets are preserved; only the
+// intra-block instruction order changes (the algorithm's safety and
+// serviceability contract).
+package emit
+
+import (
+	"fmt"
+	"strings"
+
+	"aisched/internal/graph"
+	"aisched/internal/isa"
+)
+
+// Trace renders a scheduled trace: blocks in layout order, each with its
+// label and its instructions in the scheduled order. orders maps block
+// index → node IDs in the concatenated node space used by deps.BuildTrace
+// (block i's instructions occupy a contiguous ID range in layout order).
+func Trace(blocks []isa.Block, orders map[int][]graph.NodeID) (string, error) {
+	offsets := make([]int, len(blocks)+1)
+	for i, b := range blocks {
+		offsets[i+1] = offsets[i] + len(b.Instrs)
+	}
+	var out strings.Builder
+	for bi, b := range blocks {
+		if b.Label != "" {
+			fmt.Fprintf(&out, "%s:\n", b.Label)
+		}
+		order, ok := orders[bi]
+		if !ok {
+			if len(b.Instrs) == 0 {
+				continue
+			}
+			return "", fmt.Errorf("emit: no order for block %d", bi)
+		}
+		if len(order) != len(b.Instrs) {
+			return "", fmt.Errorf("emit: block %d order has %d of %d instructions", bi, len(order), len(b.Instrs))
+		}
+		seen := make([]bool, len(b.Instrs))
+		for _, id := range order {
+			local := int(id) - offsets[bi]
+			if local < 0 || local >= len(b.Instrs) {
+				return "", fmt.Errorf("emit: node %d outside block %d (range %d..%d)", id, bi, offsets[bi], offsets[bi+1]-1)
+			}
+			if seen[local] {
+				return "", fmt.Errorf("emit: node %d emitted twice in block %d", id, bi)
+			}
+			seen[local] = true
+			fmt.Fprintf(&out, "\t%s\n", b.Instrs[local].Mnemonic())
+		}
+	}
+	return out.String(), nil
+}
+
+// Loop renders a scheduled single-block loop body under its label.
+func Loop(b isa.Block, order []graph.NodeID) (string, error) {
+	if len(order) != len(b.Instrs) {
+		return "", fmt.Errorf("emit: order has %d of %d instructions", len(order), len(b.Instrs))
+	}
+	var out strings.Builder
+	if b.Label != "" {
+		fmt.Fprintf(&out, "%s:\n", b.Label)
+	}
+	seen := make([]bool, len(b.Instrs))
+	for _, id := range order {
+		if int(id) < 0 || int(id) >= len(b.Instrs) || seen[id] {
+			return "", fmt.Errorf("emit: bad node %d", id)
+		}
+		seen[id] = true
+		fmt.Fprintf(&out, "\t%s\n", b.Instrs[id].Mnemonic())
+	}
+	return out.String(), nil
+}
+
+// BranchLast reports whether every block's scheduled order keeps its
+// terminating branch last — a well-formedness check for emitted code (the
+// control dependences should force this; a violation indicates a broken
+// dependence graph).
+func BranchLast(blocks []isa.Block, orders map[int][]graph.NodeID) error {
+	offsets := make([]int, len(blocks)+1)
+	for i, b := range blocks {
+		offsets[i+1] = offsets[i] + len(b.Instrs)
+	}
+	for bi, b := range blocks {
+		hasBranch := false
+		for _, in := range b.Instrs {
+			if in.IsBranch() {
+				hasBranch = true
+			}
+		}
+		if !hasBranch || len(orders[bi]) == 0 {
+			continue
+		}
+		lastID := orders[bi][len(orders[bi])-1]
+		local := int(lastID) - offsets[bi]
+		if local < 0 || local >= len(b.Instrs) || !b.Instrs[local].IsBranch() {
+			return fmt.Errorf("emit: block %d does not end in its branch", bi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package emit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/core"
+	"aisched/internal/deps"
+	"aisched/internal/graph"
+	"aisched/internal/isa"
+	"aisched/internal/machine"
+	"aisched/internal/minic"
+	"aisched/internal/workload"
+)
+
+func fig3Block(t *testing.T) isa.Block {
+	t.Helper()
+	blocks, err := isa.Parse(`
+CL.18:
+	loadu  r6, 4(r7)
+	storeu r0, 4(r5)
+	cmpi   cr1, r6, 0
+	mul    r0, r6, r0
+	bt     cr1, CL.18
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks[0]
+}
+
+func TestLoopEmission(t *testing.T) {
+	b := fig3Block(t)
+	// Schedule 2's order: L4 ST M C4 BT.
+	out, err := Loop(b, []graph.NodeID{0, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "CL.18:" {
+		t.Fatalf("label missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "mul") || !strings.Contains(lines[4], "cmpi") {
+		t.Fatalf("reordering not applied:\n%s", out)
+	}
+	// The emitted text must re-parse to the same instruction multiset.
+	re, err := isa.Parse(out)
+	if err != nil {
+		t.Fatalf("emitted assembly does not re-parse: %v\n%s", err, out)
+	}
+	if len(re) != 1 || len(re[0].Instrs) != 5 {
+		t.Fatalf("re-parse shape wrong: %+v", re)
+	}
+}
+
+func TestLoopEmissionErrors(t *testing.T) {
+	b := fig3Block(t)
+	if _, err := Loop(b, []graph.NodeID{0, 1, 2}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := Loop(b, []graph.NodeID{0, 1, 2, 2, 4}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := Loop(b, []graph.NodeID{0, 1, 2, 9, 4}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestTraceEmissionRoundTrip(t *testing.T) {
+	src := `
+int a;
+int b;
+a = 2;
+b = a * a;
+if (b > 3) { a = b + 1; } else { a = b - 1; }
+b = a + a;
+`
+	comp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := comp.Blocks
+	var seqs [][]isa.Instr
+	for _, b := range blocks {
+		seqs = append(seqs, b.Instrs)
+	}
+	g := deps.BuildTrace(seqs)
+	m := machine.SingleUnit(4)
+	res, err := core.Lookahead(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Trace(blocks, res.BlockOrders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BranchLast(blocks, res.BlockOrders); err != nil {
+		t.Fatal(err)
+	}
+	re, err := isa.Parse(out)
+	if err != nil {
+		t.Fatalf("emitted trace does not re-parse: %v\n%s", err, out)
+	}
+	// Same total instruction count.
+	total, reTotal := 0, 0
+	for _, b := range blocks {
+		total += len(b.Instrs)
+	}
+	for _, b := range re {
+		reTotal += len(b.Instrs)
+	}
+	if total != reTotal {
+		t.Fatalf("instruction count changed: %d → %d", total, reTotal)
+	}
+}
+
+func TestTraceEmissionDetectsCrossBlockLeak(t *testing.T) {
+	blocks := []isa.Block{
+		{Label: "a", Instrs: []isa.Instr{{Op: isa.LI, Dst: isa.GPR(1), Imm: 1}}},
+		{Label: "b", Instrs: []isa.Instr{{Op: isa.LI, Dst: isa.GPR(2), Imm: 2}}},
+	}
+	// Block 0's order references block 1's node.
+	orders := map[int][]graph.NodeID{0: {1}, 1: {0}}
+	if _, err := Trace(blocks, orders); err == nil {
+		t.Fatal("cross-block node accepted")
+	}
+}
+
+func TestPropertyEmittedTraceReparses(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := workload.RandomProgram(r, 4)
+		comp, err := minic.Compile(src)
+		if err != nil {
+			return false
+		}
+		var seqs [][]isa.Instr
+		for _, b := range comp.Blocks {
+			seqs = append(seqs, b.Instrs)
+		}
+		g := deps.BuildTrace(seqs)
+		res, err := core.Lookahead(g, machine.SingleUnit(4))
+		if err != nil {
+			return false
+		}
+		out, err := Trace(comp.Blocks, res.BlockOrders)
+		if err != nil {
+			return false
+		}
+		if err := BranchLast(comp.Blocks, res.BlockOrders); err != nil {
+			return false
+		}
+		_, err = isa.Parse(out)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

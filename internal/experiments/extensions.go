@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aisched/internal/baseline"
+	"aisched/internal/core"
+	"aisched/internal/deps"
+	"aisched/internal/graph"
+	"aisched/internal/hw"
+	"aisched/internal/isa"
+	"aisched/internal/loops"
+	"aisched/internal/machine"
+	"aisched/internal/minic"
+	"aisched/internal/regren"
+	"aisched/internal/tables"
+	"aisched/internal/workload"
+)
+
+// T7 measures how much of the global-scheduling headroom anticipatory
+// scheduling recovers without moving instructions across block boundaries —
+// the paper's central value proposition ("delivers many of the benefits of
+// global instruction scheduling ... without compromising safety").
+//
+// For each instance we measure, on the window simulator:
+//
+//	local  — per-block Rank scheduling (the best safe local scheduler);
+//	antic  — Algorithm Lookahead;
+//	global — the unsafe whole-trace schedule's greedy makespan (the target
+//	         line: what unrestricted cross-block motion could reach).
+//
+// recovered = (local − antic) / (local − global), reported per window size
+// over the instances where global actually beats local.
+func T7(seed int64, instances int) (*Result, error) {
+	windows := []int{2, 4, 8, 16}
+	t := tables.New(
+		fmt.Sprintf("T7: share of the global-scheduling gap recovered safely (%d instances)", instances),
+		"window", "local (mean)", "anticipatory (mean)", "global target (mean)", "gap recovered")
+	res := &Result{ID: "T7", Table: t, Passed: true}
+
+	for _, w := range windows {
+		m := machine.SingleUnit(w)
+		var sumL, sumA, sumG, recovered, weight float64
+		for i := 0; i < instances; i++ {
+			r := rand.New(rand.NewSource(seed + int64(i)))
+			g, err := workload.Trace(r, workload.DefaultTrace())
+			if err != nil {
+				return nil, err
+			}
+			lOrder, err := baseline.ScheduleTrace(baseline.RankLocal{}, g, m)
+			if err != nil {
+				return nil, err
+			}
+			lSim, err := hw.SimulateTrace(g, m, lOrder)
+			if err != nil {
+				return nil, err
+			}
+			la, err := core.Lookahead(g, m)
+			if err != nil {
+				return nil, err
+			}
+			aSim, err := hw.SimulateTrace(g, m, la.StaticOrder())
+			if err != nil {
+				return nil, err
+			}
+			gMk, err := baseline.GlobalMakespan(g, m)
+			if err != nil {
+				return nil, err
+			}
+			sumL += float64(lSim.Completion)
+			sumA += float64(aSim.Completion)
+			sumG += float64(gMk)
+			if gap := lSim.Completion - gMk; gap > 0 {
+				rec := float64(lSim.Completion-aSim.Completion) / float64(gap)
+				if rec > 1 {
+					rec = 1 // anticipatory may even beat the unwindowed target's greedy
+				}
+				recovered += rec
+				weight++
+			}
+		}
+		n := float64(instances)
+		frac := 0.0
+		if weight > 0 {
+			frac = recovered / weight
+		}
+		t.Add(fmt.Sprintf("W=%d", w), sumL/n, sumA/n, sumG/n, frac)
+		if sumA > sumL {
+			res.Passed = false
+			res.Notes = append(res.Notes, fmt.Sprintf("anticipatory worse than local at W=%d", w))
+		}
+	}
+	res.Notes = append(res.Notes,
+		"'gap recovered' averages (local−antic)/(local−global) over instances where global beats local")
+	return res, nil
+}
+
+// T3b evaluates the §5.1 algorithm — anticipatory scheduling of loops whose
+// body is a trace of several basic blocks (the last block scheduled with a
+// clone of the first block as successor context) — against per-block local
+// scheduling and source order, in the periodic steady-state model.
+func T3b(seed int64, instances int) (*Result, error) {
+	t := tables.New(
+		fmt.Sprintf("T3b: multi-block loop bodies, steady-state cycles/iteration (%d instances)", instances),
+		"scheduler", "periodic II (mean)", "intra makespan (mean)")
+	res := &Result{ID: "T3b", Table: t, Passed: true}
+	m := machine.SingleUnit(8)
+
+	var iiA, iiL, iiS, mkA, mkL, mkS float64
+	for i := 0; i < instances; i++ {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		g, err := workload.LoopTrace(r, workload.DefaultLoopTrace())
+		if err != nil {
+			return nil, err
+		}
+		st, err := loops.ScheduleLoopTrace(g, m)
+		if err != nil {
+			return nil, err
+		}
+		iiA += float64(st.II)
+		mkA += float64(st.Makespan)
+
+		lOrder, err := baseline.ScheduleTrace(baseline.RankLocal{}, g, m)
+		if err != nil {
+			return nil, err
+		}
+		lSt, err := loops.Evaluate(g, m, lOrder)
+		if err != nil {
+			return nil, err
+		}
+		iiL += float64(lSt.II)
+		mkL += float64(lSt.Makespan)
+
+		sOrder := make([]graph.NodeID, g.Len())
+		for j := range sOrder {
+			sOrder[j] = graph.NodeID(j)
+		}
+		sSt, err := loops.Evaluate(g, m, sOrder)
+		if err != nil {
+			return nil, err
+		}
+		iiS += float64(sSt.II)
+		mkS += float64(sSt.Makespan)
+	}
+	n := float64(instances)
+	t.Add("anticipatory (5.1)", iiA/n, mkA/n)
+	t.Add("rank-local per block", iiL/n, mkL/n)
+	t.Add("source-order", iiS/n, mkS/n)
+	if iiA > iiL+n*0.15 { // allow tiny noise per instance
+		res.Passed = false
+		res.Notes = append(res.Notes, "trace-loop algorithm worse than local baseline")
+	}
+	return res, nil
+}
+
+// A1 is the register-renaming ablation: anticipatory scheduling of
+// compiler-generated traces with and without the renaming pass that removes
+// false (anti/output) register dependences. The §6 related-work discussion
+// (Hennessy–Gross, Gibbons–Muchnick) treats register-allocator-induced
+// hazards as a first-class scheduling obstacle; this measures their cost on
+// this pipeline.
+func A1(seed int64, instances int) (*Result, error) {
+	t := tables.New(
+		fmt.Sprintf("A1: register renaming ablation on compiled traces (%d instances, 2-wide, W=4)", instances),
+		"pipeline", "mean completion", "mean improvement vs no-renaming")
+	res := &Result{ID: "A1", Table: t, Passed: true}
+	// A single-issue machine is throughput-bound (one instruction per cycle
+	// regardless of ordering), so false dependences rarely cost cycles
+	// there; the renaming effect shows on a multi-issue machine. Two fixed
+	// point units plus the float and branch units cover the compiled code's
+	// classes.
+	m := machine.NewMachine("2fx+fp+br/W=4", []int{2, 1, 1}, 4)
+	var sumPlain, sumRenamed float64
+	for i := 0; i < instances; i++ {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		prog := workload.RandomProgram(r, 3+r.Intn(3))
+		comp, err := compileForA1(prog)
+		if err != nil {
+			return nil, err
+		}
+		plain, renamed, err := a1Completions(comp, m)
+		if err != nil {
+			return nil, err
+		}
+		sumPlain += float64(plain)
+		sumRenamed += float64(renamed)
+	}
+	n := float64(instances)
+	t.Add("anticipatory, original registers", sumPlain/n, 0.0)
+	t.Add("anticipatory, after renaming", sumRenamed/n, sumPlain/n-sumRenamed/n)
+	if sumRenamed > sumPlain {
+		res.Passed = false
+		res.Notes = append(res.Notes, "renaming made schedules worse")
+	}
+	return res, nil
+}
+
+// A2 sweeps the unroll factor: unrolling materializes consecutive
+// iterations in one block, converting the paper's run-time window overlap
+// into compile-time freedom for the single-block scheduler; steady-state
+// cycles per ORIGINAL iteration should be nonincreasing in the unroll
+// factor (at growing code-size cost).
+func A2(seed int64, instances int) (*Result, error) {
+	ks := []int{1, 2, 3, 4}
+	t := tables.New(
+		fmt.Sprintf("A2: unroll factor sweep, steady-state cycles per original iteration (%d instances)", instances),
+		"unroll k", "anticipatory (mean)", "body size")
+	res := &Result{ID: "A2", Table: t, Passed: true}
+	m := machine.SingleUnit(8)
+	sums := make([]float64, len(ks))
+	sizes := make([]float64, len(ks))
+	for i := 0; i < instances; i++ {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		g, err := workload.Loop(r, workload.DefaultLoop())
+		if err != nil {
+			return nil, err
+		}
+		for ki, k := range ks {
+			u, err := loops.UnrollAndSchedule(g, m, k)
+			if err != nil {
+				return nil, err
+			}
+			sums[ki] += u.PerIteration()
+			sizes[ki] += float64(g.Len() * k)
+		}
+	}
+	n := float64(instances)
+	for ki, k := range ks {
+		t.Add(fmt.Sprintf("k=%d", k), sums[ki]/n, sizes[ki]/n)
+	}
+	for ki := 1; ki < len(ks); ki++ {
+		if sums[ki] > sums[0]+n*0.01 {
+			res.Passed = false
+			res.Notes = append(res.Notes, fmt.Sprintf("unroll k=%d worse than k=1", ks[ki]))
+		}
+	}
+	return res, nil
+}
+
+// compileForA1 compiles a generated program, surfacing compiler errors with
+// the offending source for diagnosis.
+func compileForA1(src string) (*minic.Compiled, error) {
+	comp, err := minic.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("generated program failed to compile: %w\n%s", err, src)
+	}
+	return comp, nil
+}
+
+// a1Completions measures the dynamic completion of a compiled program's
+// trace, anticipatorily scheduled, with original registers and after
+// per-block renaming.
+func a1Completions(comp *minic.Compiled, m *machine.Machine) (plain, renamed int, err error) {
+	blocks := comp.TraceBlocks()
+	measure := func(bs [][]isa.Instr) (int, error) {
+		g := deps.BuildTrace(bs)
+		la, err := core.Lookahead(g, m)
+		if err != nil {
+			return 0, err
+		}
+		sim, err := hw.SimulateTrace(g, m, la.StaticOrder())
+		if err != nil {
+			return 0, err
+		}
+		return sim.Completion, nil
+	}
+	plain, err = measure(blocks)
+	if err != nil {
+		return 0, 0, err
+	}
+	wrapped := make([]isa.Block, len(blocks))
+	for i, b := range blocks {
+		wrapped[i] = isa.Block{Instrs: b}
+	}
+	renBlocks := regren.RenameBlocks(wrapped)
+	ren := make([][]isa.Instr, len(renBlocks))
+	for i, b := range renBlocks {
+		ren[i] = b.Instrs
+	}
+	renamed, err = measure(ren)
+	if err != nil {
+		return 0, 0, err
+	}
+	return plain, renamed, nil
+}

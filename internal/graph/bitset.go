@@ -1,0 +1,73 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bitset used for transitive-closure rows.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// UnionWith ors o into b. Panics if o is longer than b.
+func (b Bitset) UnionWith(o Bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+// IntersectWith ands o into b.
+func (b Bitset) IntersectWith(o Bitset) {
+	for i := range b {
+		if i < len(o) {
+			b[i] &= o[i]
+		} else {
+			b[i] = 0
+		}
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of b.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// ForEach calls f for every set bit in ascending order.
+func (b Bitset) ForEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			f(wi*64 + i)
+			w &= w - 1
+		}
+	}
+}

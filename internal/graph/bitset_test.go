@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetHasClear(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Has(i) {
+			t.Fatalf("fresh bitset has bit %d", i)
+		}
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		b.Clear(i)
+		if b.Has(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestBitsetCountEmpty(t *testing.T) {
+	b := NewBitset(200)
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	b.Set(5)
+	b.Set(70)
+	b.Set(199)
+	if b.Empty() {
+		t.Fatal("non-empty bitset reported Empty")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+}
+
+func TestBitsetUnionIntersect(t *testing.T) {
+	a := NewBitset(128)
+	b := NewBitset(128)
+	a.Set(1)
+	a.Set(64)
+	b.Set(64)
+	b.Set(100)
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Count() != 3 || !u.Has(1) || !u.Has(64) || !u.Has(100) {
+		t.Fatalf("union wrong: count=%d", u.Count())
+	}
+	i := a.Clone()
+	i.IntersectWith(b)
+	if i.Count() != 1 || !i.Has(64) {
+		t.Fatalf("intersection wrong: count=%d", i.Count())
+	}
+}
+
+func TestBitsetIntersectWithShorter(t *testing.T) {
+	a := NewBitset(128)
+	a.Set(10)
+	a.Set(100)
+	short := NewBitset(64)
+	short.Set(10)
+	a.IntersectWith(short)
+	if !a.Has(10) || a.Has(100) {
+		t.Fatal("IntersectWith shorter bitset must zero the tail words")
+	}
+}
+
+func TestBitsetForEachAscending(t *testing.T) {
+	b := NewBitset(256)
+	want := []int{3, 64, 65, 130, 255}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetCloneIndependent(t *testing.T) {
+	a := NewBitset(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Has(6) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestPropertyBitsetCountMatchesForEach(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitset(1 << 16)
+		uniq := make(map[int]bool)
+		for _, i := range idxs {
+			b.Set(int(i))
+			uniq[int(i)] = true
+		}
+		n := 0
+		b.ForEach(func(int) { n++ })
+		return n == b.Count() && n == len(uniq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package hw simulates the hardware instruction-lookahead model of Sarkar &
+// Simons (SPAA '96, §2.3): a sliding window over the dynamic instruction
+// stream holds W consecutive instructions; any instruction in the window
+// whose data dependences are satisfied may issue, earlier-positioned ready
+// instructions issue before later ones (the Ordering Constraint), and the
+// window advances only when its first instruction has issued.
+//
+// The simulator is the ground truth for all experiments: schedulers emit
+// static per-block instruction orders, and this package measures the dynamic
+// completion time those orders achieve on a machine with lookahead W —
+// including the cross-block overlap that anticipatory scheduling targets,
+// and optional branch misprediction rollback.
+package hw
+
+import (
+	"fmt"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// Options control simulation details.
+type Options struct {
+	// Speculate: when true, loop-carried edges whose source is a
+	// branch-class node (control dependences into the next iteration) are
+	// ignored — the hardware predicts the branch and eagerly executes
+	// next-iteration instructions, with safe rollback on mispredict. When
+	// false, every instruction waits for the previous iteration's branch.
+	Speculate bool
+	// MispredictEvery injects one branch misprediction every k-th branch
+	// instance (0 = never). On a mispredict, instructions issued after the
+	// branch in stream order are rolled back and the stream stalls for
+	// Penalty cycles after the branch completes.
+	MispredictEvery int
+	// Penalty is the rollback/refill cost of a misprediction in cycles.
+	Penalty int
+}
+
+// instance is one dynamic instruction: a node of the body graph in a
+// specific iteration.
+type instance struct {
+	node graph.NodeID
+	iter int
+}
+
+// Result reports one simulation.
+type Result struct {
+	// Completion is the cycle at which the last instruction finishes.
+	Completion int
+	// Issued[i] is the issue cycle of stream position i.
+	Issued []int
+	// Rollbacks counts injected mispredictions.
+	Rollbacks int
+}
+
+// SimulateTrace executes a single pass over an acyclic trace graph whose
+// static instruction order is `order` (the concatenated per-block orders the
+// compiler emitted) on machine m. Only distance-0 edges constrain execution.
+func SimulateTrace(g *graph.Graph, m *machine.Machine, order []graph.NodeID) (*Result, error) {
+	return simulate(g, m, order, 1, Options{Speculate: true})
+}
+
+// SimulateLoop executes iters iterations of a loop body graph whose
+// per-iteration static order is `order`. An edge (u, v) with distance d
+// constrains instance (v, k) by instance (u, k−d); instances with k−d < 0
+// are unconstrained (the loop prologue is assumed complete, as in the
+// paper's Figure 3 where the software-pipelined store's producer ran in the
+// previous iteration).
+func SimulateLoop(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters int, opt Options) (*Result, error) {
+	return simulate(g, m, order, iters, opt)
+}
+
+// SteadyState estimates the asymptotic cycles-per-iteration of a loop under
+// the dynamic window model by simulating enough iterations for the pattern
+// to settle and differencing two long prefixes.
+func SteadyState(g *graph.Graph, m *machine.Machine, order []graph.NodeID, opt Options) (float64, error) {
+	const warm, span = 16, 48
+	r1, err := SimulateLoop(g, m, order, warm, opt)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := SimulateLoop(g, m, order, warm+span, opt)
+	if err != nil {
+		return 0, err
+	}
+	return float64(r2.Completion-r1.Completion) / span, nil
+}
+
+func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters int, opt Options) (*Result, error) {
+	n := g.Len()
+	if len(order) != n {
+		return nil, fmt.Errorf("hw: order has %d entries for %d nodes", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || int(id) >= n || seen[id] {
+			return nil, fmt.Errorf("hw: order is not a permutation")
+		}
+		seen[id] = true
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("hw: iters = %d < 1", iters)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Build the dynamic stream and a position index: pos[node][iter].
+	stream := make([]instance, 0, n*iters)
+	pos := make([][]int, n)
+	for v := range pos {
+		pos[v] = make([]int, iters)
+	}
+	for k := 0; k < iters; k++ {
+		for _, id := range order {
+			pos[id][k] = len(stream)
+			stream = append(stream, instance{node: id, iter: k})
+		}
+	}
+	total := len(stream)
+	issued := make([]int, total)
+	finish := make([]int, total)
+	for i := range issued {
+		issued[i] = -1
+		finish[i] = -1
+	}
+
+	w := m.Window
+	totalUnits := m.TotalUnits()
+	unitFree := make([]int, totalUnits)
+	rollbacks := 0
+	nextMispredict := opt.MispredictEvery // countdown in branch instances
+
+	head := 0
+	done := 0
+	// stallUntil blocks all issue before the given cycle (mispredict refill).
+	stallUntil := 0
+	for t := 0; done < total; t++ {
+		if t < stallUntil {
+			t = stallUntil - 1
+			continue
+		}
+		progress := false
+		inWindow := head + w
+		if inWindow > total {
+			inWindow = total
+		}
+		for i := head; i < inWindow; i++ {
+			if issued[i] >= 0 {
+				continue
+			}
+			ins := stream[i]
+			if !ready(g, m, opt, pos, finish, ins, t) {
+				continue
+			}
+			base, count := unitRange(m, machine.UnitClass(g.Node(ins.node).Class))
+			if count == 0 {
+				return nil, fmt.Errorf("hw: node %d has class %d with no units",
+					ins.node, g.Node(ins.node).Class)
+			}
+			unit := -1
+			for u := base; u < base+count; u++ {
+				if unitFree[u] <= t {
+					unit = u
+					break
+				}
+			}
+			if unit < 0 {
+				continue
+			}
+			issued[i] = t
+			finish[i] = t + g.Node(ins.node).Exec
+			unitFree[unit] = finish[i]
+			done++
+			progress = true
+			// Branch misprediction injection: roll back everything issued
+			// after this branch in stream order and stall.
+			if opt.MispredictEvery > 0 && g.Node(ins.node).Class == int(machine.ClassBranch) {
+				nextMispredict--
+				if nextMispredict <= 0 {
+					nextMispredict = opt.MispredictEvery
+					rollbacks++
+					for j := i + 1; j < total; j++ {
+						if issued[j] >= 0 {
+							issued[j] = -1
+							finish[j] = -1
+							done--
+						}
+					}
+					// All units refill after the branch resolves.
+					stallUntil = finish[i] + opt.Penalty
+					for u := range unitFree {
+						if unitFree[u] < stallUntil {
+							unitFree[u] = stallUntil
+						}
+					}
+				}
+			}
+		}
+		// Advance the window head past the issued prefix.
+		for head < total && issued[head] >= 0 {
+			head++
+		}
+		if !progress {
+			// Jump to the next time anything can change.
+			next := -1
+			for i := head; i < inWindow; i++ {
+				if issued[i] >= 0 {
+					continue
+				}
+				cand := earliestReady(g, m, opt, pos, finish, stream[i])
+				base, count := unitRange(m, machine.UnitClass(g.Node(stream[i].node).Class))
+				uf := -1
+				for u := base; u < base+count; u++ {
+					if uf == -1 || unitFree[u] < uf {
+						uf = unitFree[u]
+					}
+				}
+				if uf > cand {
+					cand = uf
+				}
+				if next == -1 || cand < next {
+					next = cand
+				}
+			}
+			if next >= never/2 {
+				// Every window-resident instruction waits on a producer that
+				// is beyond the window: the stream order deadlocks the
+				// machine (a consumer precedes its producer by ≥ W).
+				return nil, fmt.Errorf("hw: stream deadlock at cycle %d (head %d, window %d)", t, head, w)
+			}
+			if next <= t {
+				next = t + 1
+			}
+			t = next - 1
+		}
+	}
+	completion := 0
+	for _, f := range finish {
+		if f > completion {
+			completion = f
+		}
+	}
+	return &Result{Completion: completion, Issued: issued, Rollbacks: rollbacks}, nil
+}
+
+// honored reports whether the simulator enforces edge e for this run.
+func honored(g *graph.Graph, opt Options, e graph.Edge) bool {
+	if e.Distance == 0 {
+		return true
+	}
+	if opt.Speculate && g.Node(e.Src).Class == int(machine.ClassBranch) {
+		return false // predicted branch: next iteration proceeds eagerly
+	}
+	return true
+}
+
+// ready reports whether instance ins can issue at cycle t.
+func ready(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int, finish []int, ins instance, t int) bool {
+	return earliestReady(g, m, opt, pos, finish, ins) <= t
+}
+
+// never marks an instance whose producer has not issued yet.
+const never = 1 << 30
+
+// earliestReady returns the earliest cycle at which ins's dependences allow
+// issue, or never if a producer has not issued yet.
+func earliestReady(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int, finish []int, ins instance) int {
+	at := 0
+	for _, e := range g.In(ins.node) {
+		if !honored(g, opt, e) {
+			continue
+		}
+		k := ins.iter - e.Distance
+		if k < 0 {
+			continue // prologue instance: already complete
+		}
+		p := pos[e.Src][k]
+		if finish[p] < 0 {
+			return never
+		}
+		if r := finish[p] + e.Latency; r > at {
+			at = r
+		}
+	}
+	return at
+}
+
+func unitRange(m *machine.Machine, c machine.UnitClass) (base, count int) {
+	if m.SingleUnitOnly() {
+		return 0, 1
+	}
+	for cls := 0; cls < int(c) && cls < len(m.Units); cls++ {
+		base += m.Units[cls]
+	}
+	if int(c) < len(m.Units) {
+		return base, m.Units[c]
+	}
+	return base, 0
+}

@@ -1,0 +1,150 @@
+package hw
+
+import (
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+)
+
+func TestSimulateMultiCycleOccupiesUnit(t *testing.T) {
+	// div (exec 4) then an independent add on a single unit: add waits for
+	// the unit even though it has no dependence.
+	g := graph.New(2)
+	g.AddNode("div", 4, 0, 0)
+	g.AddNode("add", 1, 0, 0)
+	m := machine.SingleUnit(4)
+	res, err := SimulateTrace(g, m, []graph.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued[1] != 4 || res.Completion != 5 {
+		t.Fatalf("issued=%v completion=%d, want add@4, completion 5", res.Issued, res.Completion)
+	}
+}
+
+func TestSimulateMultiCycleCoIssueAcrossUnits(t *testing.T) {
+	// Same on a 2-wide machine: add co-issues at cycle 0.
+	g := graph.New(2)
+	g.AddNode("div", 4, 0, 0)
+	g.AddNode("add", 1, 0, 0)
+	m := machine.Superscalar(2, 4)
+	res, err := SimulateTrace(g, m, []graph.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued[1] != 0 || res.Completion != 4 {
+		t.Fatalf("issued=%v completion=%d, want add@0, completion 4", res.Issued, res.Completion)
+	}
+}
+
+func TestSimulateDeadlockDetected(t *testing.T) {
+	// Consumer before producer in the stream with W too small to reach the
+	// producer: the machine deadlocks; the simulator must report it.
+	g := graph.New(3)
+	use := g.AddNode("use", 1, 0, 0)
+	f := g.AddNode("f", 1, 0, 0)
+	def := g.AddNode("def", 1, 0, 0)
+	g.MustEdge(def, use, 0, 0)
+	_ = f
+	// Stream: use f def; W=2 window = {use, f}: f issues, then {use, def}?
+	// Window is contiguous from the unissued head: after f issues at 0,
+	// window is positions [0,2) = {use, f} — def at position 2 stays
+	// unreachable.
+	if _, err := SimulateTrace(g, machine.SingleUnit(2), []graph.NodeID{use, f, def}); err == nil {
+		t.Fatal("deadlocking stream accepted")
+	}
+	// W=3 reaches the producer: executes fine.
+	if _, err := SimulateTrace(g, machine.SingleUnit(3), []graph.NodeID{use, f, def}); err != nil {
+		t.Fatalf("W=3 should execute: %v", err)
+	}
+}
+
+func TestRollbackReissuesWork(t *testing.T) {
+	// With misprediction on every branch instance, instructions issued
+	// eagerly after each branch are rolled back and re-issued; completion
+	// still happens and counts all rollbacks.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(8)
+	res, err := SimulateLoop(f.G, m, f.Schedule2, 6, Options{
+		Speculate: true, MispredictEvery: 1, Penalty: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollbacks != 6 {
+		t.Fatalf("rollbacks = %d, want 6 (one per branch)", res.Rollbacks)
+	}
+	clean, err := SimulateLoop(f.G, m, f.Schedule2, 6, Options{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each mispredict costs at least the penalty.
+	if res.Completion < clean.Completion+6*2 {
+		t.Fatalf("completion %d too cheap vs clean %d", res.Completion, clean.Completion)
+	}
+}
+
+func TestIssuedSliceConsistency(t *testing.T) {
+	f := paperex.NewFig2()
+	m := machine.SingleUnit(2)
+	order := []graph.NodeID{f.X, f.E, f.R, f.W, f.B, f.A, f.Z, f.Q, f.P, f.Gn, f.V}
+	res, err := SimulateTrace(f.G, m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Issued) != f.G.Len() {
+		t.Fatalf("issued length %d", len(res.Issued))
+	}
+	// Single unit: issue cycles are distinct and each ≥ 0.
+	seen := map[int]bool{}
+	for i, c := range res.Issued {
+		if c < 0 {
+			t.Fatalf("position %d never issued", i)
+		}
+		if seen[c] {
+			t.Fatalf("two instructions issued at cycle %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSteadyStateFigure8Orders(t *testing.T) {
+	// Dynamic steady state of the Figure 8 orders: S2 sustains 4
+	// cycles/iteration; S1 is no better than S2.
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	s1, err := SteadyState(f.G, m, f.S1, Options{Speculate: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SteadyState(f.G, m, f.S2, Options{Speculate: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 > s1+1e-9 {
+		t.Fatalf("S2 (%.2f) worse than S1 (%.2f)", s2, s1)
+	}
+	if s2 < 3-1e-9 {
+		t.Fatalf("S2 steady state %.2f below the 3-instruction resource bound", s2)
+	}
+}
+
+func TestWindowBlocksIssueWidthIndependently(t *testing.T) {
+	// 2-wide machine, W=2: even with two units, only the two
+	// window-resident instructions are candidates per cycle.
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddUnit("n")
+	}
+	m := machine.Superscalar(2, 2)
+	res, err := SimulateTrace(g, m, []graph.NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0: {0,1} issue. Cycle 1: {2,3}. Completion 2.
+	if res.Completion != 2 {
+		t.Fatalf("completion = %d, want 2", res.Completion)
+	}
+}

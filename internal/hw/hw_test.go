@@ -1,0 +1,308 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+	"aisched/internal/sched"
+)
+
+func TestSimulateTraceFigure2EmittedOrderAchieves11(t *testing.T) {
+	// The anticipatory emission for Figure 2 is x e r w b | a z q p g v (or
+	// an equivalent optimum); with W = 2 the window fills BB1's trailing
+	// idle slot with z and the dynamic completion is 11.
+	f := paperex.NewFig2()
+	m := machine.SingleUnit(2)
+	order := []graph.NodeID{f.X, f.E, f.R, f.W, f.B, f.A, f.Z, f.Q, f.P, f.Gn, f.V}
+	res, err := SimulateTrace(f.G, m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion != 11 {
+		t.Fatalf("dynamic completion = %d, want 11", res.Completion)
+	}
+}
+
+func TestSimulateTraceWindowOneIsInOrder(t *testing.T) {
+	// W = 1: no lookahead; the idle slot before `a` cannot be filled by z,
+	// so the same static order costs one more cycle.
+	f := paperex.NewFig2()
+	order := []graph.NodeID{f.X, f.E, f.R, f.W, f.B, f.A, f.Z, f.Q, f.P, f.Gn, f.V}
+	r1, err := SimulateTrace(f.G, machine.SingleUnit(1), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SimulateTrace(f.G, machine.SingleUnit(2), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completion <= r2.Completion {
+		t.Fatalf("W=1 (%d) should be slower than W=2 (%d) on this trace",
+			r1.Completion, r2.Completion)
+	}
+	// In-order: x e r w b _ a (a waits for b+1) z q p g v with z, q each
+	// paying their latency → completion 13.
+	if r1.Completion != 13 {
+		t.Fatalf("W=1 completion = %d, want 13", r1.Completion)
+	}
+}
+
+func TestSimulateTraceRespectsWindowBound(t *testing.T) {
+	// Block-1 instruction z is 4 positions past the pending a in the stream;
+	// with W=3 it is outside the window while a is unissued... construct a
+	// direct case: order = [a(block0, not ready), z1 z2 z3(block1, ready)];
+	// with W=2 only z1 may bypass a.
+	g := graph.New(5)
+	pre := g.AddNode("pre", 1, 0, 0)
+	a := g.AddNode("a", 1, 0, 0)
+	z1 := g.AddNode("z1", 1, 0, 1)
+	z2 := g.AddNode("z2", 1, 0, 1)
+	z3 := g.AddNode("z3", 1, 0, 1)
+	g.MustEdge(pre, a, 3, 0) // a ready only at t=4
+	order := []graph.NodeID{pre, a, z1, z2, z3}
+
+	// The window is a CONTIGUOUS stream segment anchored at the oldest
+	// unissued instruction (§2.3), so an issued instruction keeps occupying
+	// its slot until the head advances — exactly the Window Constraint's
+	// span ≤ W. W=2: window = {a, z1}: z1 bypasses a@1; z2 (span 3) cannot →
+	// pre@0 z1@1 idle idle a@4 z2@5 z3@6 → completion 7.
+	res, err := SimulateTrace(g, machine.SingleUnit(2), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion != 7 {
+		t.Fatalf("W=2 completion = %d, want 7 (issued %v)", res.Completion, res.Issued)
+	}
+
+	// W=3 admits z2 (span 3) but not z3 (span 4):
+	// pre@0 z1@1 z2@2 idle a@4 z3@5 → completion 6.
+	res3, err := SimulateTrace(g, machine.SingleUnit(3), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Completion != 6 {
+		t.Fatalf("W=3 completion = %d, want 6 (issued %v)", res3.Completion, res3.Issued)
+	}
+
+	res4, err := SimulateTrace(g, machine.SingleUnit(8), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large window: z1 z2 z3 all bypass a → pre@0 z1@1 z2@2 z3@3 a@4 → 5.
+	if res4.Completion != 5 {
+		t.Fatalf("W=8 completion = %d, want 5", res4.Completion)
+	}
+}
+
+func TestSimulateLoopFigure3DynamicSteadyState(t *testing.T) {
+	// Under the dynamic window model the hardware's out-of-order issue
+	// narrows the gap between the two static schedules (the paper's §1:
+	// "out-of-order execution in the hardware can also adapt"); Schedule 2
+	// must still be at least as good as Schedule 1, and both are bounded
+	// below by the M→M recurrence of 5 cycles/iteration.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	s1, err := SteadyState(f.G, m, f.Schedule1, Options{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SteadyState(f.G, m, f.Schedule2, Options{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 > s1+1e-9 {
+		t.Fatalf("dynamic steady state: schedule2 (%.2f) worse than schedule1 (%.2f)", s2, s1)
+	}
+	if s1 < 5-1e-9 || s2 < 5-1e-9 {
+		t.Fatalf("steady states %.2f/%.2f below the recurrence bound 5", s1, s2)
+	}
+}
+
+func TestSimulateLoopNonSpeculativeSlower(t *testing.T) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	spec, err := SteadyState(f.G, m, f.Schedule2, Options{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nospec, err := SteadyState(f.G, m, f.Schedule2, Options{Speculate: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nospec < spec-1e-9 {
+		t.Fatalf("non-speculative (%.2f) faster than speculative (%.2f)", nospec, spec)
+	}
+}
+
+func TestSimulateLoopMispredictionCostsCycles(t *testing.T) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	clean, err := SimulateLoop(f.G, m, f.Schedule2, 20, Options{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := SimulateLoop(f.G, m, f.Schedule2, 20, Options{Speculate: true, MispredictEvery: 4, Penalty: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Rollbacks == 0 {
+		t.Fatal("no rollbacks injected")
+	}
+	if faulty.Completion <= clean.Completion {
+		t.Fatalf("mispredictions did not cost cycles: %d vs %d", faulty.Completion, clean.Completion)
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	f := paperex.NewFig1()
+	m := machine.SingleUnit(2)
+	if _, err := SimulateTrace(f.G, m, []graph.NodeID{0, 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := SimulateTrace(f.G, m, []graph.NodeID{0, 1, 2, 3, 4, 4}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := SimulateLoop(f.G, m, []graph.NodeID{0, 1, 2, 3, 4, 5}, 0, Options{}); err == nil {
+		t.Fatal("iters=0 accepted")
+	}
+}
+
+func TestSimulateMultiUnitCoIssue(t *testing.T) {
+	g := graph.New(2)
+	fx := g.AddNode("fx", 1, int(machine.ClassFixed), 0)
+	fl := g.AddNode("fl", 1, int(machine.ClassFloat), 0)
+	m := machine.RS6000(4)
+	res, err := SimulateTrace(g, m, []graph.NodeID{fx, fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion != 1 {
+		t.Fatalf("completion = %d, want 1 (co-issue on separate units)", res.Completion)
+	}
+}
+
+func TestSimulateTraceMatchesGreedyForLargeWindow(t *testing.T) {
+	// With W ≥ number of instructions, the windowed simulator degenerates to
+	// the plain greedy list schedule (Ordering Constraint's model).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode("n", 1, 0, i%3)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+				}
+			}
+		}
+		m := machine.SingleUnit(n + 1)
+		order := sched.SourceOrder(g)
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// The order must still respect block contiguity for the trace
+		// model? No — SimulateTrace takes an arbitrary stream; compare
+		// directly against the greedy list scheduler.
+		res, err := SimulateTrace(g, m, order)
+		if err != nil {
+			return false
+		}
+		s, err := sched.ListSchedule(g, m, order)
+		if err != nil {
+			return false
+		}
+		return res.Completion == s.Makespan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWindowMonotone(t *testing.T) {
+	// Larger windows never hurt: completion is nonincreasing in W.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(16)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode("n", 1, 0, i*3/n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(3), 0)
+				}
+			}
+		}
+		order := sched.SourceOrder(g)
+		prev := -1
+		for _, w := range []int{1, 2, 4, 8, 32} {
+			res, err := SimulateTrace(g, machine.SingleUnit(w), order)
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && res.Completion > prev {
+				return false
+			}
+			prev = res.Completion
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLoopCompletionLinearTail(t *testing.T) {
+	// The dynamic execution's tail pace is sane: completion is strictly
+	// increasing, at least one cycle per iteration, and no slower per
+	// iteration than a standalone iteration plus the largest loop-carried
+	// latency (the worst possible serialization).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode("n", 1, 0, 0)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.4 {
+					g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(3), 0)
+				}
+			}
+		}
+		// One loop-carried edge to make iterations interact.
+		g.MustEdge(graph.NodeID(n-1), graph.NodeID(0), 1+r.Intn(3), 1)
+		m := machine.SingleUnit(1 + r.Intn(8))
+		order := sched.SourceOrder(g)
+		r1, err := SimulateLoop(g, m, order, 1, Options{Speculate: true})
+		if err != nil {
+			return false
+		}
+		r8, err := SimulateLoop(g, m, order, 8, Options{Speculate: true})
+		if err != nil {
+			return false
+		}
+		r16, err := SimulateLoop(g, m, order, 16, Options{Speculate: true})
+		if err != nil {
+			return false
+		}
+		maxLat := 0
+		for _, e := range g.Edges() {
+			if e.Latency > maxLat {
+				maxLat = e.Latency
+			}
+		}
+		tail := r16.Completion - r8.Completion
+		return tail >= 8 && tail <= 8*(r1.Completion+maxLat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

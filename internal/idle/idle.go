@@ -1,0 +1,182 @@
+// Package idle implements Procedure Move_Idle_Slot and Delay_Idle_Slots
+// from Sarkar & Simons (SPAA '96, §3, Figures 4 and 6): delaying each idle
+// slot of a schedule as late as possible — without increasing the makespan —
+// by iteratively tightening the deadline of the tail node that finishes just
+// before the slot and re-running the Rank Algorithm.
+//
+// Moving idle slots late is the enabling step for anticipatory scheduling:
+// a trailing idle slot can be filled at run time by the hardware lookahead
+// window with an instruction from the next basic block, whereas an early
+// idle slot is wasted.
+//
+// For unit execution times, 0/1 latencies and a single functional unit,
+// repeated application provably yields a minimum-makespan schedule whose
+// idle slots each occur as late as possible; for general machines it is the
+// heuristic of §4.2.
+package idle
+
+import (
+	"fmt"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// MoveResult reports the outcome of one Move_Idle_Slot call.
+type MoveResult struct {
+	S *sched.Schedule
+	D []int // deadlines: committed modifications on success, the originals on failure
+	// Moved is true when the processed idle slot now starts later or was
+	// eliminated entirely (possible on multi-unit machines).
+	Moved bool
+	// NewStart is the new start time of the processed slot, or -1 when the
+	// slot was eliminated.
+	NewStart int
+}
+
+// maxInner bounds the demote-and-reschedule loop; each iteration demotes one
+// more pre-slot node, so the loop is bounded by the node count anyway — the
+// constant guards against pathological general-machine behaviour.
+const maxInner = 4
+
+// MoveIdleSlot is Procedure Move_Idle_Slot (paper Figure 4) for the idle
+// slot starting at time t on the given unit of schedule s, under deadlines
+// d. tie is the rank-tie-break order (nil = program order).
+//
+// The procedure (a) caps the deadline of every node finishing at or before t
+// to t, so rescheduling can never move the slot earlier, then (b) repeatedly
+// demotes the deadline of the node finishing exactly at the slot (forcing it
+// one cycle earlier) and re-runs rank_alg, until the slot moves later, is
+// eliminated, or the instance becomes infeasible. On failure the input
+// schedule and deadlines are returned unchanged (Moved == false).
+func MoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID) (*MoveResult, error) {
+	g := s.G
+	if len(d) != g.Len() {
+		return nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
+	}
+	fail := &MoveResult{S: s, D: d, Moved: false, NewStart: t}
+
+	ordinal := slotOrdinal(s, unit, t)
+	if ordinal < 0 {
+		return nil, fmt.Errorf("idle: no idle slot at time %d on unit %d", t, unit)
+	}
+
+	// Tentative deadline state; committed only on success.
+	dd := append([]int(nil), d...)
+	// Step (a): nodes scheduled prior to the slot must stay prior to it.
+	for v := 0; v < g.Len(); v++ {
+		if s.Finish(graph.NodeID(v)) <= t && dd[v] > t {
+			dd[v] = t
+		}
+	}
+
+	cur := s
+	oldMakespan := s.Makespan()
+	for iter := 0; iter < g.Len()*maxInner; iter++ {
+		// The tail node a_i: finishes exactly at the slot start on this unit.
+		tail := tailNode(cur, unit, t)
+		if tail == graph.None {
+			return fail, nil // slot preceded by idle time: nothing to demote
+		}
+		newDeadline := t - 1
+		if newDeadline < g.Node(tail).Exec {
+			return fail, nil // the tail cannot finish any earlier
+		}
+		// In a feasible schedule finish(tail) = t ≤ dd[tail], so this always
+		// tightens.
+		dd[tail] = newDeadline
+
+		ranks, err := rank.Compute(g, m, dd)
+		if err != nil {
+			return nil, err
+		}
+		// Failure test of Figure 4: some pre-slot node must still be allowed
+		// to complete at t, otherwise the vacated slot cannot be refilled.
+		refill := false
+		for v := 0; v < g.Len(); v++ {
+			if cur.Finish(graph.NodeID(v)) <= t && ranks[v] >= t {
+				refill = true
+				break
+			}
+		}
+		if !refill {
+			return fail, nil
+		}
+
+		res, err := rank.Run(g, m, dd, tie)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Feasible || res.S.Makespan() > oldMakespan {
+			return fail, nil
+		}
+		slots := res.S.IdleSlotsOnUnit(unit)
+		if ordinal >= len(slots) {
+			// Slot eliminated (heuristic regime): success.
+			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: -1}, nil
+		}
+		nt := slots[ordinal]
+		switch {
+		case nt > t:
+			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: nt}, nil
+		case nt < t:
+			// Should be impossible given the pre-slot caps; bail out safely.
+			return fail, nil
+		default:
+			cur = res.S // slot unchanged: demote the (possibly new) tail and retry
+		}
+	}
+	return fail, nil
+}
+
+// slotOrdinal returns the index of the idle slot starting at t among the
+// unit's idle slots, or -1.
+func slotOrdinal(s *sched.Schedule, unit, t int) int {
+	for i, st := range s.IdleSlotsOnUnit(unit) {
+		if st == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// tailNode returns the node on the unit that finishes exactly at time t.
+func tailNode(s *sched.Schedule, unit, t int) graph.NodeID {
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Unit[v] == unit && s.Finish(graph.NodeID(v)) == t {
+			return graph.NodeID(v)
+		}
+	}
+	return graph.None
+}
+
+// DelayIdleSlots is procedure Delay_Idle_Slots (paper Figure 6): process the
+// idle slots of every unit from earliest to latest, repeatedly calling
+// MoveIdleSlot on each until it can no longer be delayed. Returns the final
+// schedule and committed deadlines.
+func DelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID) (*sched.Schedule, []int, error) {
+	cur := s
+	dd := append([]int(nil), d...)
+	for unit := 0; unit < m.TotalUnits(); unit++ {
+		ordinal := 0
+		for guard := 0; guard < cur.G.Len()*(cur.Makespan()+2); guard++ {
+			slots := cur.IdleSlotsOnUnit(unit)
+			if ordinal >= len(slots) {
+				break
+			}
+			res, err := MoveIdleSlot(cur, m, dd, unit, slots[ordinal], tie)
+			if err != nil {
+				return nil, nil, err
+			}
+			if res.Moved {
+				cur = res.S
+				dd = res.D
+				continue // same ordinal: try to push it further
+			}
+			ordinal++
+		}
+	}
+	return cur, dd, nil
+}

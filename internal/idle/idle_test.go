@@ -1,0 +1,295 @@
+package idle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// fig1Setup produces the paper's §2.1 starting point: the makespan-7
+// schedule of BB1 with its idle slot at time 2 and deadlines rebased to 7.
+func fig1Setup(t *testing.T) (*paperex.Fig1, *machine.Machine, *sched.Schedule, []int) {
+	t.Helper()
+	f := paperex.NewFig1()
+	m := machine.SingleUnit(2)
+	res, err := rank.Run(f.G, m, rank.UniformDeadlines(f.G.Len(), 100), f.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := res.S.Makespan()
+	if T != 7 {
+		t.Fatalf("setup makespan = %d, want 7", T)
+	}
+	d := rank.Rebase(rank.UniformDeadlines(f.G.Len(), 100), 100-T)
+	return f, m, res.S, d
+}
+
+func TestMoveIdleSlotFigure1(t *testing.T) {
+	// §2.2: the idle slot at time 2 moves to time 5; makespan stays 7; the
+	// tail node x ends with deadline 1.
+	f, m, s, d := fig1Setup(t)
+	res, err := MoveIdleSlot(s, m, d, 0, 2, f.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Moved {
+		t.Fatalf("idle slot at 2 did not move\n%s", s)
+	}
+	if res.NewStart != 5 {
+		t.Fatalf("slot moved to %d, want 5\n%s", res.NewStart, res.S)
+	}
+	if res.S.Makespan() != 7 {
+		t.Fatalf("makespan = %d, want 7", res.S.Makespan())
+	}
+	if res.D[f.X] != 1 {
+		t.Fatalf("d(x) = %d, want 1 (the paper's committed deadline)", res.D[f.X])
+	}
+	if err := res.S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's moved schedule is x e r b w _ a.
+	labels := sched.PermutationLabels(res.S)
+	want := []string{"x", "e", "r", "b", "w", "a"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("moved schedule = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestMoveIdleSlotFigure1CannotMoveFurther(t *testing.T) {
+	// After moving to time 5, the slot is as late as possible: a is the only
+	// node after it and depends on w and b with latency 1 — the slot at 5
+	// cannot be delayed again.
+	f, m, s, d := fig1Setup(t)
+	res, err := MoveIdleSlot(s, m, d, 0, 2, f.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := MoveIdleSlot(res.S, m, res.D, 0, 5, f.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Moved {
+		t.Fatalf("slot at 5 moved to %d; it should be maximal", res2.NewStart)
+	}
+	// Failure must leave schedule and deadlines untouched.
+	if res2.S != res.S {
+		t.Fatal("failure should return the input schedule")
+	}
+	for i := range res.D {
+		if res2.D[i] != res.D[i] {
+			t.Fatal("failure must not commit deadline changes")
+		}
+	}
+}
+
+func TestDelayIdleSlotsFigure1(t *testing.T) {
+	f, m, s, d := fig1Setup(t)
+	out, dd, err := DelayIdleSlots(s, m, d, f.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan() != 7 {
+		t.Fatalf("makespan = %d, want 7", out.Makespan())
+	}
+	slots := out.IdleSlotsOnUnit(0)
+	if len(slots) != 1 || slots[0] != 5 {
+		t.Fatalf("final idle slots = %v, want [5]", slots)
+	}
+	if dd[f.X] != 1 {
+		t.Fatalf("d(x) = %d, want 1", dd[f.X])
+	}
+}
+
+func TestMoveIdleSlotUnknownSlotErrors(t *testing.T) {
+	_, m, s, d := fig1Setup(t)
+	if _, err := MoveIdleSlot(s, m, d, 0, 3, nil); err == nil {
+		t.Fatal("nonexistent slot accepted")
+	}
+}
+
+func TestMoveIdleSlotWrongDeadlineCount(t *testing.T) {
+	_, m, s, _ := fig1Setup(t)
+	if _, err := MoveIdleSlot(s, m, []int{1}, 0, 2, nil); err == nil {
+		t.Fatal("wrong-length deadlines accepted")
+	}
+}
+
+func TestDelayIdleSlotsNoIdleNoChange(t *testing.T) {
+	// A chain with latency 0 has no idle slots; DelayIdleSlots is a no-op.
+	g := graph.New(3)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	c := g.AddUnit("c")
+	g.MustEdge(a, b, 0, 0)
+	g.MustEdge(b, c, 0, 0)
+	m := machine.SingleUnit(1)
+	s, err := rank.Makespan(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rank.UniformDeadlines(3, s.Makespan())
+	out, _, err := DelayIdleSlots(s, m, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range out.Start {
+		if out.Start[v] != s.Start[v] {
+			t.Fatal("no-idle schedule changed")
+		}
+	}
+}
+
+func TestMoveIdleSlotLeadingIdleFromLatency(t *testing.T) {
+	// a -2-> b and nothing else: schedule a _ _ b with slots at 1, 2. The
+	// slot at 1 is preceded by a (tail) but a cannot move earlier than 0, so
+	// demotion makes the instance infeasible → no move.
+	g := graph.New(2)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	g.MustEdge(a, b, 2, 0)
+	m := machine.SingleUnit(1)
+	s, err := rank.Makespan(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rank.UniformDeadlines(2, s.Makespan())
+	res, err := MoveIdleSlot(s, m, d, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved {
+		t.Fatal("slot after an immovable tail moved")
+	}
+	// The slot at 2 has no tail node (preceded by idle) → fail cleanly.
+	res2, err := MoveIdleSlot(s, m, d, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Moved {
+		t.Fatal("tail-less slot moved")
+	}
+}
+
+func randomUETDAG(r *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddUnit("n")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+			}
+		}
+	}
+	return g
+}
+
+func sumIdleStarts(s *sched.Schedule) int {
+	total := 0
+	for _, t := range s.IdleSlotsOnUnit(0) {
+		total += t
+	}
+	return total
+}
+
+func TestPropertyDelayPreservesMakespanAndValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(18), 0.3)
+		m := machine.SingleUnit(4)
+		s, err := rank.Makespan(g, m)
+		if err != nil {
+			return false
+		}
+		d := rank.UniformDeadlines(g.Len(), s.Makespan())
+		out, _, err := DelayIdleSlots(s, m, d, nil)
+		if err != nil {
+			return false
+		}
+		if out.Makespan() != s.Makespan() {
+			return false
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDelayNeverMovesIdleSlotsEarlier(t *testing.T) {
+	// The multiset of idle starts can only shift later: compare slot-by-slot
+	// (both schedules have the same number of slots since makespan and node
+	// count are unchanged on a single unit).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(18), 0.3)
+		m := machine.SingleUnit(4)
+		s, err := rank.Makespan(g, m)
+		if err != nil {
+			return false
+		}
+		d := rank.UniformDeadlines(g.Len(), s.Makespan())
+		out, _, err := DelayIdleSlots(s, m, d, nil)
+		if err != nil {
+			return false
+		}
+		before := s.IdleSlotsOnUnit(0)
+		after := out.IdleSlotsOnUnit(0)
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if after[i] < before[i] {
+				return false
+			}
+		}
+		return sumIdleStarts(out) >= sumIdleStarts(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoveFailureLeavesStateUntouched(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(15), 0.35)
+		m := machine.SingleUnit(4)
+		s, err := rank.Makespan(g, m)
+		if err != nil {
+			return false
+		}
+		d := rank.UniformDeadlines(g.Len(), s.Makespan())
+		for _, t0 := range s.IdleSlotsOnUnit(0) {
+			res, err := MoveIdleSlot(s, m, d, 0, t0, nil)
+			if err != nil {
+				return false
+			}
+			if !res.Moved {
+				if res.S != s {
+					return false
+				}
+				for i := range d {
+					if res.D[i] != d[i] {
+						return false
+					}
+				}
+			} else if res.S.Makespan() > s.Makespan() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

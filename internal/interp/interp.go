@@ -1,0 +1,194 @@
+// Package interp is a functional interpreter for the target ISA: it
+// executes compiled programs instruction by instruction, following
+// branches, and reports the final architectural state. It exists to close
+// the loop on the safety claim of anticipatory instruction scheduling —
+// because instructions never move across basic-block boundaries and all
+// intra-block dependences are honored, a scheduled (or register-renamed)
+// program must compute exactly the same final registers and memory as the
+// original. The property tests in this package's clients run random mini-C
+// programs through compile → schedule → emit → interpret and compare
+// states.
+package interp
+
+import (
+	"fmt"
+
+	"aisched/internal/isa"
+)
+
+// State is the architectural machine state.
+type State struct {
+	// Regs holds the general and condition register files (indexed by
+	// isa.Reg).
+	Regs [isa.NumGPR + isa.NumCR]int64
+	// Mem is a sparse word-addressed memory.
+	Mem map[int64]int64
+	// Steps counts executed instructions.
+	Steps int
+}
+
+// NewState returns an empty machine state.
+func NewState() *State {
+	return &State{Mem: map[int64]int64{}}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{Regs: s.Regs, Mem: make(map[int64]int64, len(s.Mem)), Steps: s.Steps}
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return c
+}
+
+// DefaultMaxSteps bounds Run when the caller passes 0.
+const DefaultMaxSteps = 100000
+
+// Run executes the blocks starting at blocks[0], following branch targets
+// by label and falling through otherwise, until control falls off the end.
+// It mutates and returns st (allocating a fresh state when nil).
+func Run(blocks []isa.Block, st *State, maxSteps int) (*State, error) {
+	if st == nil {
+		st = NewState()
+	}
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	byLabel := map[string]int{}
+	for i, b := range blocks {
+		if b.Label != "" {
+			byLabel[b.Label] = i
+		}
+	}
+	bi := 0
+	for bi < len(blocks) {
+		b := blocks[bi]
+		jumped := false
+		for _, in := range b.Instrs {
+			if st.Steps >= maxSteps {
+				return st, fmt.Errorf("interp: step limit %d exceeded (runaway loop?)", maxSteps)
+			}
+			st.Steps++
+			taken, err := st.exec(in)
+			if err != nil {
+				return st, err
+			}
+			if taken {
+				to, ok := byLabel[in.Target]
+				if !ok {
+					return st, fmt.Errorf("interp: unknown branch target %q", in.Target)
+				}
+				bi = to
+				jumped = true
+				break
+			}
+		}
+		if !jumped {
+			bi++
+		}
+	}
+	return st, nil
+}
+
+// exec executes one instruction; taken reports whether a branch fired.
+func (s *State) exec(in isa.Instr) (taken bool, err error) {
+	r := func(reg isa.Reg) int64 {
+		if !reg.Valid() {
+			return 0
+		}
+		return s.Regs[reg]
+	}
+	w := func(reg isa.Reg, v int64) {
+		if reg.Valid() {
+			s.Regs[reg] = v
+		}
+	}
+	switch in.Op {
+	case isa.NOP:
+	case isa.LI:
+		w(in.Dst, in.Imm)
+	case isa.MOV:
+		w(in.Dst, r(in.SrcA))
+	case isa.ADD:
+		w(in.Dst, r(in.SrcA)+r(in.SrcB))
+	case isa.SUB:
+		w(in.Dst, r(in.SrcA)-r(in.SrcB))
+	case isa.AND:
+		w(in.Dst, r(in.SrcA)&r(in.SrcB))
+	case isa.OR:
+		w(in.Dst, r(in.SrcA)|r(in.SrcB))
+	case isa.XOR:
+		w(in.Dst, r(in.SrcA)^r(in.SrcB))
+	case isa.SHL:
+		w(in.Dst, r(in.SrcA)<<(uint64(r(in.SrcB))&63))
+	case isa.SHR:
+		w(in.Dst, int64(uint64(r(in.SrcA))>>(uint64(r(in.SrcB))&63)))
+	case isa.ADDI:
+		w(in.Dst, r(in.SrcA)+in.Imm)
+	case isa.SUBI:
+		w(in.Dst, r(in.SrcA)-in.Imm)
+	case isa.MUL:
+		w(in.Dst, r(in.SrcA)*r(in.SrcB))
+	case isa.DIV:
+		if d := r(in.SrcB); d != 0 {
+			w(in.Dst, r(in.SrcA)/d)
+		} else {
+			w(in.Dst, 0) // architectural definition: divide by zero yields 0
+		}
+	case isa.LOAD:
+		w(in.Dst, s.Mem[r(in.Base)+in.Imm])
+	case isa.LOADU:
+		addr := r(in.Base) + in.Imm
+		w(in.Base, addr)
+		w(in.Dst, s.Mem[addr])
+	case isa.STORE:
+		s.Mem[r(in.Base)+in.Imm] = r(in.SrcA)
+	case isa.STOREU:
+		addr := r(in.Base) + in.Imm
+		w(in.Base, addr)
+		s.Mem[addr] = r(in.SrcA)
+	case isa.CMP:
+		w(in.Dst, b2i(in.Cond.Eval(r(in.SrcA), r(in.SrcB))))
+	case isa.CMPI:
+		w(in.Dst, b2i(in.Cond.Eval(r(in.SrcA), in.Imm)))
+	case isa.BT:
+		return r(in.SrcA) != 0, nil
+	case isa.BF:
+		return r(in.SrcA) == 0, nil
+	case isa.B:
+		return true, nil
+	default:
+		return false, fmt.Errorf("interp: unknown opcode %v", in.Op)
+	}
+	return false, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SameObservable compares two final states on the observable surface: all
+// of memory and the given registers (callers pass the registers the source
+// program's variables live in; scratch registers may legitimately differ
+// after renaming or rescheduling).
+func SameObservable(a, b *State, regs []isa.Reg) error {
+	for _, r := range regs {
+		if a.Regs[r] != b.Regs[r] {
+			return fmt.Errorf("interp: register %s differs: %d vs %d", r, a.Regs[r], b.Regs[r])
+		}
+	}
+	for k, v := range a.Mem {
+		if b.Mem[k] != v {
+			return fmt.Errorf("interp: mem[%d] differs: %d vs %d", k, v, b.Mem[k])
+		}
+	}
+	for k, v := range b.Mem {
+		if a.Mem[k] != v {
+			return fmt.Errorf("interp: mem[%d] differs: %d vs %d", k, a.Mem[k], v)
+		}
+	}
+	return nil
+}

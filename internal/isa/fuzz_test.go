@@ -1,0 +1,76 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseInstr checks the parser never panics and that everything it
+// accepts round-trips through Mnemonic → ParseInstr.
+func FuzzParseInstr(f *testing.F) {
+	seeds := []string{
+		"nop",
+		"li r3, 42",
+		"add r5, r3, r4",
+		"loadu r6, 4(r7)",
+		"storeu r0, -4(r5)",
+		"cmpi cr1, r6, 0",
+		"bt cr1, CL.1",
+		"b CL.18",
+		"mul r0, r6, r0",
+		"load r1, (r2)",
+		"add r1 r2 r3",
+		"li r1, 0x10",
+		"bogus r1, r2",
+		"li r1, 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		in, err := ParseInstr(line)
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid instruction %q: %v", line, err)
+		}
+		again, err := ParseInstr(in.Mnemonic())
+		if err != nil {
+			t.Fatalf("round trip of %q failed at %q: %v", line, in.Mnemonic(), err)
+		}
+		if again.Op != in.Op || again.Dst != in.Dst || again.SrcA != in.SrcA ||
+			again.SrcB != in.SrcB || again.Imm != in.Imm || again.Base != in.Base ||
+			again.Target != in.Target || again.Cond != in.Cond {
+			t.Fatalf("round trip mismatch: %q vs %q", in.Mnemonic(), again.Mnemonic())
+		}
+	})
+}
+
+// FuzzParse checks the block parser never panics and that label/branch
+// structure is internally consistent.
+func FuzzParse(f *testing.F) {
+	f.Add("L:\n\tli r1, 1\n\tbt cr0, L\n")
+	f.Add("\tadd r1, r2, r3\nX:\n\tb X\n")
+	f.Add("; just a comment\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		blocks, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, b := range blocks {
+			if len(b.Instrs) == 0 {
+				t.Fatalf("parser emitted empty block %q", b.Label)
+			}
+			for i, in := range b.Instrs {
+				if in.IsBranch() && i != len(b.Instrs)-1 {
+					t.Fatalf("branch not block-terminal in %q", b.Label)
+				}
+				if err := in.Validate(); err != nil {
+					t.Fatalf("invalid instruction survived parse: %v", err)
+				}
+			}
+		}
+		_ = strings.TrimSpace(src)
+	})
+}

@@ -1,0 +1,235 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Block is a labeled sequence of instructions, the parser's output unit.
+type Block struct {
+	Label  string
+	Instrs []Instr
+}
+
+// Parse reads assembly text into labeled blocks. Syntax (one instruction
+// per line):
+//
+//	CL.18:                ; a label opens a new block
+//	    loadu r6, 4(r7)   ; comments run to end of line
+//	    cmpi  cr1, r6, 0
+//	    bt    cr1, CL.1
+//
+// Instructions before any label go into a block labeled "entry". A branch
+// also terminates the current block.
+func Parse(src string) ([]Block, error) {
+	var blocks []Block
+	cur := Block{Label: "entry"}
+	flush := func() {
+		if len(cur.Instrs) > 0 {
+			blocks = append(blocks, cur)
+		}
+	}
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			flush()
+			cur = Block{Label: strings.TrimSuffix(line, ":")}
+			continue
+		}
+		in, err := ParseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		if in.IsBranch() {
+			flush()
+			cur = Block{Label: fmt.Sprintf("bb.%d", lineno+2)}
+		}
+	}
+	flush()
+	return blocks, nil
+}
+
+// ParseInstr parses one instruction line.
+func ParseInstr(line string) (Instr, error) {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " , "))
+	if len(fields) == 0 {
+		return Instr{}, fmt.Errorf("isa: empty instruction")
+	}
+	mnem := strings.ToLower(fields[0])
+	var ops []string
+	for _, f := range fields[1:] {
+		if f != "," {
+			ops = append(ops, f)
+		}
+	}
+	// Compares may carry a condition-code suffix: cmp.lt, cmpi.eq, ...
+	cond := NE
+	if base, suffix, found := strings.Cut(mnem, "."); found && (base == "cmp" || base == "cmpi") {
+		parsed := CondCode(-1)
+		for c := NE; int(c) < len(condNames); c++ {
+			if condNames[c] == suffix {
+				parsed = c
+				break
+			}
+		}
+		if parsed < 0 {
+			return Instr{}, fmt.Errorf("isa: unknown condition code %q", suffix)
+		}
+		cond = parsed
+		mnem = base
+	}
+	var op Opcode = -1
+	for o := NOP; o < numOpcodes; o++ {
+		if opNames[o] == mnem {
+			op = o
+			break
+		}
+	}
+	if op < 0 {
+		return Instr{}, fmt.Errorf("isa: unknown mnemonic %q", mnem)
+	}
+	in := Instr{Op: op, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, Base: NoReg, Cond: cond}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("isa: %s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case NOP:
+		err = need(0)
+	case LI:
+		if err = need(2); err == nil {
+			in.Dst, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, err = parseImm(ops[1])
+			}
+		}
+	case MOV:
+		if err = need(2); err == nil {
+			in.Dst, err = parseReg(ops[0])
+			if err == nil {
+				in.SrcA, err = parseReg(ops[1])
+			}
+		}
+	case ADDI, SUBI:
+		if err = need(3); err == nil {
+			in.Dst, err = parseReg(ops[0])
+			if err == nil {
+				in.SrcA, err = parseReg(ops[1])
+			}
+			if err == nil {
+				in.Imm, err = parseImm(ops[2])
+			}
+		}
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, DIV, CMP:
+		if err = need(3); err == nil {
+			in.Dst, err = parseReg(ops[0])
+			if err == nil {
+				in.SrcA, err = parseReg(ops[1])
+			}
+			if err == nil {
+				in.SrcB, err = parseReg(ops[2])
+			}
+		}
+	case CMPI:
+		if err = need(3); err == nil {
+			in.Dst, err = parseReg(ops[0])
+			if err == nil {
+				in.SrcA, err = parseReg(ops[1])
+			}
+			if err == nil {
+				in.Imm, err = parseImm(ops[2])
+			}
+		}
+	case LOAD, LOADU:
+		if err = need(2); err == nil {
+			in.Dst, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, in.Base, err = parseMem(ops[1])
+			}
+		}
+	case STORE, STOREU:
+		if err = need(2); err == nil {
+			in.SrcA, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, in.Base, err = parseMem(ops[1])
+			}
+		}
+	case BT, BF:
+		if err = need(2); err == nil {
+			in.SrcA, err = parseReg(ops[0])
+			in.Target = ops[1]
+		}
+	case B:
+		if err = need(1); err == nil {
+			in.Target = ops[0]
+		}
+	}
+	if err != nil {
+		return Instr{}, err
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if strings.HasPrefix(s, "cr") {
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < 0 || n >= NumCR {
+			return NoReg, fmt.Errorf("isa: bad condition register %q", s)
+		}
+		return CR(n), nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumGPR {
+			return NoReg, fmt.Errorf("isa: bad register %q", s)
+		}
+		return GPR(n), nil
+	}
+	return NoReg, fmt.Errorf("isa: bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("isa: bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(reg)".
+func parseMem(s string) (int64, Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, NoReg, fmt.Errorf("isa: bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, NoReg, err
+		}
+		off = v
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, NoReg, err
+	}
+	return off, base, nil
+}

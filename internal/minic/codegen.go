@@ -1,0 +1,503 @@
+package minic
+
+import (
+	"fmt"
+
+	"aisched/internal/isa"
+)
+
+// Compiled is the code generator's output: labeled basic blocks in layout
+// order, plus the loops discovered during generation (the units the loop
+// schedulers consume).
+type Compiled struct {
+	Blocks []isa.Block
+	Loops  []LoopInfo
+}
+
+// LoopInfo describes one natural loop in the emitted code.
+type LoopInfo struct {
+	// Label of the loop header block.
+	Label string
+	// BodyBlocks are indices into Compiled.Blocks forming the loop body in
+	// layout order. A single-block loop (rotated while/for with a
+	// straight-line body) has exactly one entry.
+	BodyBlocks []int
+}
+
+// TraceBlocks returns the instruction sequences of the layout-order trace —
+// the fall-through path a trace scheduler would select with every branch
+// predicted untaken.
+func (c *Compiled) TraceBlocks() [][]isa.Instr {
+	var out [][]isa.Instr
+	for _, b := range c.Blocks {
+		if len(b.Instrs) > 0 {
+			out = append(out, b.Instrs)
+		}
+	}
+	return out
+}
+
+// Body returns the instructions of a single-block loop, or nil.
+func (c *Compiled) Body(l LoopInfo) []isa.Instr {
+	if len(l.BodyBlocks) != 1 {
+		return nil
+	}
+	return c.Blocks[l.BodyBlocks[0]].Instrs
+}
+
+// Register file convention: arrays get base registers r1..r7, scalars live
+// in r8..r15, temporaries cycle through r16..r31, condition registers
+// cr0..cr7 round-robin.
+const (
+	firstArrayReg  = 1
+	firstScalarReg = 8
+	firstTempReg   = 16
+)
+
+type codegen struct {
+	blocks   []isa.Block
+	cur      isa.Block
+	loops    []LoopInfo
+	scalars  map[string]isa.Reg
+	arrays   map[string]isa.Reg
+	nArrays  int
+	nScalars int
+	nTemp    int
+	nCR      int
+	nLabel   int
+	addr     int64
+}
+
+// Compile parses and code-generates a mini-C program.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(prog)
+}
+
+// Generate lowers a parsed program to basic blocks.
+func Generate(prog *Program) (*Compiled, error) {
+	g := &codegen{
+		scalars: map[string]isa.Reg{},
+		arrays:  map[string]isa.Reg{},
+		cur:     isa.Block{Label: "entry"},
+		addr:    0x1000,
+	}
+	for _, s := range prog.Stmts {
+		if err := g.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	g.flush("")
+	return &Compiled{Blocks: g.blocks, Loops: g.loops}, nil
+}
+
+func (g *codegen) emit(in isa.Instr) { g.cur.Instrs = append(g.cur.Instrs, in) }
+
+// flush ends the current block and starts a new one labeled next. Labeled
+// blocks are kept even when empty — they may be branch targets (e.g. the
+// end label of a nested if) and the CFG layer resolves them as
+// fall-through.
+func (g *codegen) flush(next string) {
+	if len(g.cur.Instrs) > 0 || g.cur.Label == "entry" ||
+		(g.cur.Label != "" && g.labelUsed(g.cur.Label)) {
+		g.blocks = append(g.blocks, g.cur)
+	}
+	g.cur = isa.Block{Label: next}
+}
+
+// labelUsed reports whether any emitted branch targets the label.
+func (g *codegen) labelUsed(label string) bool {
+	for _, b := range g.blocks {
+		for _, in := range b.Instrs {
+			if in.Target == label {
+				return true
+			}
+		}
+	}
+	for _, in := range g.cur.Instrs {
+		if in.Target == label {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *codegen) label(name string) { g.flush(name) }
+
+func (g *codegen) newLabel(prefix string) string {
+	g.nLabel++
+	return fmt.Sprintf("%s.%d", prefix, g.nLabel)
+}
+
+func (g *codegen) tempReg() (isa.Reg, error) {
+	r := firstTempReg + g.nTemp
+	if r >= isa.NumGPR {
+		return isa.NoReg, fmt.Errorf("minic: out of temporary registers")
+	}
+	g.nTemp++
+	return isa.GPR(r), nil
+}
+
+func (g *codegen) releaseTemps(mark int) { g.nTemp = mark }
+
+func (g *codegen) condReg() isa.Reg {
+	r := isa.CR(g.nCR % isa.NumCR)
+	g.nCR++
+	return r
+}
+
+func (g *codegen) stmt(s Stmt) error {
+	mark := g.nTemp
+	defer g.releaseTemps(mark)
+	switch st := s.(type) {
+	case DeclStmt:
+		return g.decl(st)
+	case *AssignStmt:
+		return g.assign(*st)
+	case AssignStmt:
+		return g.assign(st)
+	case IfStmt:
+		return g.ifStmt(st)
+	case WhileStmt:
+		return g.loop(nil, st.Cond, nil, st.Body, "while")
+	case ForStmt:
+		return g.loop(st.Init, st.Cond, st.Post, st.Body, "for")
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (g *codegen) decl(d DeclStmt) error {
+	if d.Size >= 0 {
+		if _, dup := g.arrays[d.Name]; dup {
+			return fmt.Errorf("minic: array %q redeclared", d.Name)
+		}
+		if _, dup := g.scalars[d.Name]; dup {
+			return fmt.Errorf("minic: %q redeclared", d.Name)
+		}
+		r := firstArrayReg + g.nArrays
+		if r >= firstScalarReg {
+			return fmt.Errorf("minic: too many arrays (max %d)", firstScalarReg-firstArrayReg)
+		}
+		g.nArrays++
+		g.arrays[d.Name] = isa.GPR(r)
+		g.emit(isa.Instr{Op: isa.LI, Dst: isa.GPR(r), Imm: g.addr, SrcA: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg,
+			Comment: fmt.Sprintf("&%s", d.Name)})
+		g.addr += d.Size * 4
+		return nil
+	}
+	if _, dup := g.scalars[d.Name]; dup {
+		return fmt.Errorf("minic: %q redeclared", d.Name)
+	}
+	if _, dup := g.arrays[d.Name]; dup {
+		return fmt.Errorf("minic: %q redeclared", d.Name)
+	}
+	r := firstScalarReg + g.nScalars
+	if r >= firstTempReg {
+		return fmt.Errorf("minic: too many scalars (max %d)", firstTempReg-firstScalarReg)
+	}
+	g.nScalars++
+	g.scalars[d.Name] = isa.GPR(r)
+	if d.Init != nil {
+		return g.exprInto(d.Init, isa.GPR(r))
+	}
+	return nil
+}
+
+func (g *codegen) assign(a AssignStmt) error {
+	if a.Index == nil {
+		dst, ok := g.scalars[a.Name]
+		if !ok {
+			return fmt.Errorf("minic: assignment to undeclared scalar %q", a.Name)
+		}
+		return g.exprInto(a.Value, dst)
+	}
+	base, ok := g.arrays[a.Name]
+	if !ok {
+		return fmt.Errorf("minic: assignment to undeclared array %q", a.Name)
+	}
+	val, err := g.expr(a.Value)
+	if err != nil {
+		return err
+	}
+	addr, off, err := g.address(base, a.Index)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.STORE, SrcA: val, Base: addr, Imm: off, Dst: isa.NoReg, SrcB: isa.NoReg,
+		Comment: fmt.Sprintf("%s[...] =", a.Name)})
+	return nil
+}
+
+// address lowers an array index expression into (base register, byte
+// offset): constant indices fold into the offset, variable indices compute
+// base + 4*i into a temp.
+func (g *codegen) address(base isa.Reg, idx Expr) (isa.Reg, int64, error) {
+	if n, ok := idx.(NumLit); ok {
+		return base, n.Value * 4, nil
+	}
+	// Fold i±c into offset arithmetic.
+	if b, ok := idx.(Binary); ok {
+		if n, ok2 := b.R.(NumLit); ok2 && (b.Op == "+" || b.Op == "-") {
+			r, _, err := g.address(base, b.L)
+			if err != nil {
+				return isa.NoReg, 0, err
+			}
+			off := n.Value * 4
+			if b.Op == "-" {
+				off = -off
+			}
+			return r, off, nil
+		}
+	}
+	iv, err := g.expr(idx)
+	if err != nil {
+		return isa.NoReg, 0, err
+	}
+	t1, err := g.tempReg()
+	if err != nil {
+		return isa.NoReg, 0, err
+	}
+	t2, err := g.tempReg()
+	if err != nil {
+		return isa.NoReg, 0, err
+	}
+	g.emit(isa.Instr{Op: isa.LI, Dst: t1, Imm: 2, SrcA: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+	g.emit(isa.Instr{Op: isa.SHL, Dst: t2, SrcA: iv, SrcB: t1, Base: isa.NoReg})
+	g.emit(isa.Instr{Op: isa.ADD, Dst: t2, SrcA: t2, SrcB: base, Base: isa.NoReg})
+	return t2, 0, nil
+}
+
+// expr evaluates e into a register (reusing variable registers for plain
+// reads).
+func (g *codegen) expr(e Expr) (isa.Reg, error) {
+	if v, ok := e.(VarRef); ok {
+		if r, ok2 := g.scalars[v.Name]; ok2 {
+			return r, nil
+		}
+		return isa.NoReg, fmt.Errorf("minic: undeclared variable %q", v.Name)
+	}
+	t, err := g.tempReg()
+	if err != nil {
+		return isa.NoReg, err
+	}
+	if err := g.exprInto(e, t); err != nil {
+		return isa.NoReg, err
+	}
+	return t, nil
+}
+
+// exprInto evaluates e into dst.
+func (g *codegen) exprInto(e Expr, dst isa.Reg) error {
+	switch x := e.(type) {
+	case NumLit:
+		g.emit(isa.Instr{Op: isa.LI, Dst: dst, Imm: x.Value, SrcA: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+		return nil
+	case VarRef:
+		src, ok := g.scalars[x.Name]
+		if !ok {
+			return fmt.Errorf("minic: undeclared variable %q", x.Name)
+		}
+		if src != dst {
+			g.emit(isa.Instr{Op: isa.MOV, Dst: dst, SrcA: src, SrcB: isa.NoReg, Base: isa.NoReg})
+		}
+		return nil
+	case IndexRef:
+		base, ok := g.arrays[x.Name]
+		if !ok {
+			return fmt.Errorf("minic: undeclared array %q", x.Name)
+		}
+		addr, off, err := g.address(base, x.Index)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.LOAD, Dst: dst, Base: addr, Imm: off, SrcA: isa.NoReg, SrcB: isa.NoReg,
+			Comment: x.Name + "[...]"})
+		return nil
+	case Unary:
+		if x.Op == "-" {
+			if n, ok := x.X.(NumLit); ok {
+				g.emit(isa.Instr{Op: isa.LI, Dst: dst, Imm: -n.Value, SrcA: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+				return nil
+			}
+			v, err := g.expr(x.X)
+			if err != nil {
+				return err
+			}
+			t, err := g.tempReg()
+			if err != nil {
+				return err
+			}
+			g.emit(isa.Instr{Op: isa.LI, Dst: t, Imm: 0, SrcA: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+			g.emit(isa.Instr{Op: isa.SUB, Dst: dst, SrcA: t, SrcB: v, Base: isa.NoReg})
+			return nil
+		}
+		// !x lowered as comparison with 0 into a GPR via cmp+materialize is
+		// overkill for scheduling studies; reject for clarity.
+		return fmt.Errorf("minic: unary %q only supported in conditions", x.Op)
+	case Binary:
+		return g.binaryInto(x, dst)
+	}
+	return fmt.Errorf("minic: cannot evaluate %T", e)
+}
+
+var arithOp = map[string]isa.Opcode{
+	"+": isa.ADD, "-": isa.SUB, "*": isa.MUL, "/": isa.DIV,
+	"&": isa.AND, "|": isa.OR, "^": isa.XOR,
+}
+
+func (g *codegen) binaryInto(b Binary, dst isa.Reg) error {
+	op, ok := arithOp[b.Op]
+	if !ok {
+		return fmt.Errorf("minic: operator %q not valid in arithmetic context", b.Op)
+	}
+	// Immediate forms for x ± c.
+	if n, isNum := b.R.(NumLit); isNum && (b.Op == "+" || b.Op == "-") {
+		l, err := g.expr(b.L)
+		if err != nil {
+			return err
+		}
+		io := isa.ADDI
+		if b.Op == "-" {
+			io = isa.SUBI
+		}
+		g.emit(isa.Instr{Op: io, Dst: dst, SrcA: l, Imm: n.Value, SrcB: isa.NoReg, Base: isa.NoReg})
+		return nil
+	}
+	l, err := g.expr(b.L)
+	if err != nil {
+		return err
+	}
+	r, err := g.expr(b.R)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: op, Dst: dst, SrcA: l, SrcB: r, Base: isa.NoReg})
+	return nil
+}
+
+var condCodes = map[string]isa.CondCode{
+	"==": isa.EQ, "!=": isa.NE, "<": isa.LT, "<=": isa.LE, ">": isa.GT, ">=": isa.GE,
+}
+
+// cond lowers a boolean expression into a condition register holding its
+// truth value, encoding the comparison in the instruction's condition code.
+func (g *codegen) cond(e Expr) (isa.Reg, error) {
+	cr := g.condReg()
+	if u, ok := e.(Unary); ok && u.Op == "!" {
+		// !x ≡ (x == 0).
+		v, err := g.expr(u.X)
+		if err != nil {
+			return isa.NoReg, err
+		}
+		g.emit(isa.Instr{Op: isa.CMPI, Dst: cr, SrcA: v, Imm: 0, SrcB: isa.NoReg, Base: isa.NoReg,
+			Cond: isa.EQ, Comment: "!"})
+		return cr, nil
+	}
+	if b, ok := e.(Binary); ok {
+		if cc, isCmp := condCodes[b.Op]; isCmp {
+			l, err := g.expr(b.L)
+			if err != nil {
+				return isa.NoReg, err
+			}
+			if n, isNum := b.R.(NumLit); isNum {
+				g.emit(isa.Instr{Op: isa.CMPI, Dst: cr, SrcA: l, Imm: n.Value, SrcB: isa.NoReg, Base: isa.NoReg,
+					Cond: cc, Comment: b.Op})
+				return cr, nil
+			}
+			r, err := g.expr(b.R)
+			if err != nil {
+				return isa.NoReg, err
+			}
+			g.emit(isa.Instr{Op: isa.CMP, Dst: cr, SrcA: l, SrcB: r, Base: isa.NoReg, Cond: cc, Comment: b.Op})
+			return cr, nil
+		}
+	}
+	// Treat any other expression as (e != 0).
+	v, err := g.expr(e)
+	if err != nil {
+		return isa.NoReg, err
+	}
+	g.emit(isa.Instr{Op: isa.CMPI, Dst: cr, SrcA: v, Imm: 0, SrcB: isa.NoReg, Base: isa.NoReg,
+		Cond: isa.NE, Comment: "!= 0"})
+	return cr, nil
+}
+
+func (g *codegen) ifStmt(s IfStmt) error {
+	cr, err := g.cond(s.Cond)
+	if err != nil {
+		return err
+	}
+	elseLbl := g.newLabel("L.else")
+	endLbl := g.newLabel("L.end")
+	target := endLbl
+	if len(s.Else) > 0 {
+		target = elseLbl
+	}
+	g.emit(isa.Instr{Op: isa.BF, SrcA: cr, Target: target, Dst: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+	g.flush(g.newLabel("L.then"))
+	for _, st := range s.Then {
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	if len(s.Else) > 0 {
+		g.emit(isa.Instr{Op: isa.B, Target: endLbl, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+		g.label(elseLbl)
+		for _, st := range s.Else {
+			if err := g.stmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	g.label(endLbl)
+	return nil
+}
+
+// loop lowers while/for with classic loop rotation: a pre-check guard, then
+// a body block ending in (post,) condition, and a backward conditional
+// branch. A straight-line body therefore becomes a single basic block — the
+// shape §5.2's single-block loop algorithms consume (cf. the paper's Figure
+// 3 loop) — while bodies with control flow become multi-block loops (§5.1).
+func (g *codegen) loop(init *AssignStmt, cond Expr, post *AssignStmt, body []Stmt, kind string) error {
+	if init != nil {
+		if err := g.assign(*init); err != nil {
+			return err
+		}
+	}
+	// Guard.
+	cr, err := g.cond(cond)
+	if err != nil {
+		return err
+	}
+	bodyLbl := g.newLabel("L." + kind)
+	endLbl := g.newLabel("L.end")
+	g.emit(isa.Instr{Op: isa.BF, SrcA: cr, Target: endLbl, Dst: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+	g.flush(bodyLbl)
+	startBlock := len(g.blocks) // index the body's first block will get
+	for _, st := range body {
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	if post != nil {
+		if err := g.assign(*post); err != nil {
+			return err
+		}
+	}
+	cr2, err := g.cond(cond)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.BT, SrcA: cr2, Target: bodyLbl, Dst: isa.NoReg, SrcB: isa.NoReg, Base: isa.NoReg})
+	g.flush(endLbl)
+	bodyEnd := len(g.blocks) // exclusive
+	var bodyBlocks []int
+	for i := startBlock; i < bodyEnd; i++ {
+		bodyBlocks = append(bodyBlocks, i)
+	}
+	g.loops = append(g.loops, LoopInfo{Label: bodyLbl, BodyBlocks: bodyBlocks})
+	return nil
+}

@@ -1,0 +1,48 @@
+package minic
+
+import (
+	"testing"
+
+	"aisched/internal/deps"
+)
+
+// FuzzCompile checks the whole front end never panics on arbitrary input,
+// and that everything it accepts produces well-formed blocks whose trace
+// dependence graph is a DAG.
+func FuzzCompile(f *testing.F) {
+	f.Add("int a; a = 1;")
+	f.Add("int x[4]; int i; for (i = 0; i < 3; i = i + 1) { x[i] = i * 2; }")
+	f.Add("int a; if (a) { a = 1; } else { a = 2; }")
+	f.Add("int a; a = ((1+2)*(3-4))/5;")
+	f.Add("int a; while (a < 5) a = a + 1;")
+	f.Add("{}{}{{{")
+	f.Add("int int int")
+	f.Add("int a; a = b;")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		for _, b := range c.Blocks {
+			for i, in := range b.Instrs {
+				if err := in.Validate(); err != nil {
+					t.Fatalf("invalid generated instruction: %v\n%s", err, src)
+				}
+				if in.IsBranch() && i != len(b.Instrs)-1 {
+					t.Fatalf("branch not block-terminal\n%s", src)
+				}
+			}
+		}
+		g := deps.BuildTrace(c.TraceBlocks())
+		if !g.IsAcyclic() {
+			t.Fatalf("cyclic trace graph from:\n%s", src)
+		}
+		for _, l := range c.Loops {
+			for _, bi := range l.BodyBlocks {
+				if bi < 0 || bi >= len(c.Blocks) {
+					t.Fatalf("loop body block %d out of range\n%s", bi, src)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+// Package minic implements a small C-subset compiler used to generate
+// realistic instruction workloads for the schedulers — enough of the
+// language to express the paper's motivating fragments, e.g. the Figure 3
+// partial-products loop:
+//
+//	int x[100]; int y[100]; int i;
+//	y[0] = x[0];
+//	for (i = 1; x[i] != 0; i = i + 1) { y[i] = y[i-1] * x[i]; }
+//	y[i] = 0;
+//
+// The pipeline is lexer → recursive-descent parser → AST → code generator
+// producing isa.Instr basic blocks with labels and branches. Variables live
+// in registers (no spilling; programs must fit the register file), arrays
+// get a dedicated base register each, matching the paper's RS/6000 idiom.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true, "for": true,
+}
+
+// lex splits source text into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("minic: line %d: unterminated comment", line)
+			}
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, line: line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minic: line %d: bad number %q", line, src[i:j])
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], num: v, line: line})
+			i = j
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', '{', '}', '[', ']', ';', ',', '!', '&', '|', '^':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("minic: line %d: unexpected character %q", line, string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,311 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a mini-C translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{Stmts: stmts}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, fmt.Errorf("minic: line %d: expected %q, found %q", t.line, text, t.text)
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "int"):
+		return p.decl()
+	case p.at(tokKeyword, "if"):
+		return p.ifStmt()
+	case p.at(tokKeyword, "while"):
+		return p.whileStmt()
+	case p.at(tokKeyword, "for"):
+		return p.forStmt()
+	case p.at(tokIdent, ""):
+		a, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+	t := p.cur()
+	return nil, fmt.Errorf("minic: line %d: unexpected %q", t.line, t.text)
+}
+
+func (p *parser) decl() (Stmt, error) {
+	p.next() // int
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, fmt.Errorf("minic: line %d: expected identifier after 'int'", p.cur().line)
+	}
+	d := &DeclStmt{Name: name.text, Size: -1}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, fmt.Errorf("minic: line %d: expected array size", p.cur().line)
+		}
+		d.Size = n.num
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	} else if p.accept(tokPunct, "=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return *d, nil
+}
+
+func (p *parser) assign() (*AssignStmt, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	a := &AssignStmt{Name: name.text}
+	if p.accept(tokPunct, "[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		a.Index = idx
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	a.Value = v
+	return a, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if p.accept(tokPunct, "{") {
+		var out []Stmt
+		for !p.accept(tokPunct, "}") {
+			if p.at(tokEOF, "") {
+				return nil, fmt.Errorf("minic: unexpected EOF in block")
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next() // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := IfStmt{Cond: cond, Then: then}
+	if p.accept(tokKeyword, "else") {
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	p.next() // while
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.next() // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	init, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	post, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+}
+
+// Precedence climbing: || < && < comparisons < +- < */% < unary.
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4, "|": 4, "^": 4,
+	"*": 5, "/": 5, "%": 5, "&": 5,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = Binary{Op: t.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(tokPunct, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	if p.accept(tokPunct, "!") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "!", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return NumLit{Value: t.num}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return IndexRef{Name: t.text, Index: idx}, nil
+		}
+		return VarRef{Name: t.text}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("minic: line %d: unexpected %q in expression", t.line, t.text)
+}

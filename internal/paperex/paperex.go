@@ -1,0 +1,186 @@
+// Package paperex constructs the worked examples of Sarkar & Simons
+// (SPAA '96) — Figures 1, 2, 3 and 8 — as dependence graphs. The edge sets
+// for Figures 1 and 2 are reconstructed from the rank values the paper
+// prints (95/95/98/98/100/100 for BB1 alone; 90/91/93/95/97/98/98 and 100s
+// for BB1 ∪ BB2), which the reconstructions reproduce exactly; tests in
+// internal/rank verify this.
+package paperex
+
+import (
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// Fig1 holds the Figure 1 basic block BB1 and its named nodes.
+type Fig1 struct {
+	G                *graph.Graph
+	X, E, W, B, A, R graph.NodeID
+	// PaperTie is the tie-break order "e, x, b, w, a, r" the paper chooses in
+	// §2.1, which yields the schedule with the idle slot at time 2.
+	PaperTie []graph.NodeID
+}
+
+// NewFig1 builds BB1 of Figure 1: six unit-time instructions on one
+// functional unit with latency-1 edges
+//
+//	x→w, x→b, x→r, e→w, e→b, w→a, b→a.
+//
+// Under deadline 100 the ranks are rank(x)=rank(e)=95, rank(w)=rank(b)=98,
+// rank(a)=rank(r)=100, exactly as printed in the paper, and the minimum
+// makespan is 7 (one idle slot).
+func NewFig1() *Fig1 {
+	g := graph.New(6)
+	f := &Fig1{G: g}
+	f.X = g.AddUnit("x")
+	f.E = g.AddUnit("e")
+	f.W = g.AddUnit("w")
+	f.B = g.AddUnit("b")
+	f.A = g.AddUnit("a")
+	f.R = g.AddUnit("r")
+	g.MustEdge(f.X, f.W, 1, 0)
+	g.MustEdge(f.X, f.B, 1, 0)
+	g.MustEdge(f.X, f.R, 1, 0)
+	g.MustEdge(f.E, f.W, 1, 0)
+	g.MustEdge(f.E, f.B, 1, 0)
+	g.MustEdge(f.W, f.A, 1, 0)
+	g.MustEdge(f.B, f.A, 1, 0)
+	f.PaperTie = []graph.NodeID{f.E, f.X, f.B, f.W, f.A, f.R}
+	return f
+}
+
+// Fig2 holds the two-block trace of Figure 2: BB1 from Figure 1 followed by
+// BB2 = {z, q, p, v, g}, with the cross-block edge w→z of latency 1.
+type Fig2 struct {
+	G                *graph.Graph
+	X, E, W, B, A, R graph.NodeID // BB1 (block 0)
+	Z, Q, P, V, Gn   graph.NodeID // BB2 (block 1)
+}
+
+// NewFig2 builds BB1 ∪ BB2 of Figure 2. BB2's internal edges are
+//
+//	z→q (latency 1), q→p (latency 0), q→g (latency 1), p→v (latency 1),
+//
+// and the cross-block edge is w→z (latency 1). Under deadline 100 the ranks
+// are rank(g)=rank(v)=rank(a)=rank(r)=100, rank(p)=rank(b)=98, rank(q)=97,
+// rank(z)=95, rank(w)=93, rank(e)=91, rank(x)=90 — the exact values printed
+// in §2.3 — and the minimum makespan of the merged trace is 11.
+func NewFig2() *Fig2 {
+	g := graph.New(11)
+	f := &Fig2{G: g}
+	f.X = g.AddNode("x", 1, 0, 0)
+	f.E = g.AddNode("e", 1, 0, 0)
+	f.W = g.AddNode("w", 1, 0, 0)
+	f.B = g.AddNode("b", 1, 0, 0)
+	f.A = g.AddNode("a", 1, 0, 0)
+	f.R = g.AddNode("r", 1, 0, 0)
+	f.Z = g.AddNode("z", 1, 0, 1)
+	f.Q = g.AddNode("q", 1, 0, 1)
+	f.P = g.AddNode("p", 1, 0, 1)
+	f.V = g.AddNode("v", 1, 0, 1)
+	f.Gn = g.AddNode("g", 1, 0, 1)
+	// BB1 edges (as Figure 1).
+	g.MustEdge(f.X, f.W, 1, 0)
+	g.MustEdge(f.X, f.B, 1, 0)
+	g.MustEdge(f.X, f.R, 1, 0)
+	g.MustEdge(f.E, f.W, 1, 0)
+	g.MustEdge(f.E, f.B, 1, 0)
+	g.MustEdge(f.W, f.A, 1, 0)
+	g.MustEdge(f.B, f.A, 1, 0)
+	// BB2 edges.
+	g.MustEdge(f.Z, f.Q, 1, 0)
+	g.MustEdge(f.Q, f.P, 0, 0)
+	g.MustEdge(f.Q, f.Gn, 1, 0)
+	g.MustEdge(f.P, f.V, 1, 0)
+	// Cross-block edge.
+	g.MustEdge(f.W, f.Z, 1, 0)
+	return f
+}
+
+// Fig3 holds the partial-products loop of Figure 3: the body of
+//
+//	for (i=1; x[i]!=0; i++) y[i] = y[i-1] * x[i];
+//
+// after software pipelining, as five RS/6000-style instructions.
+type Fig3 struct {
+	G                 *graph.Graph
+	L4, ST, C4, M, BT graph.NodeID
+	Schedule1         []graph.NodeID // L4 ST C4 M BT — block-optimal, 7-cycle steady state
+	Schedule2         []graph.NodeID // L4 ST M C4 BT — 6-cycle steady state
+	LoadLat, MulLat   int
+	CmpLat            int
+}
+
+// NewFig3 builds the Figure 3 loop body. Unit execution times; LOAD and
+// COMPARE have latency 1 and MULTIPLY latency 4 (the paper's assumed
+// latencies). Edges:
+//
+//	loop-independent: L4→C4 <1,0>, L4→M <1,0>, C4→BT <1,0>, and control
+//	dependences ST→BT, M→BT with <0,0> (all instructions precede the branch
+//	in the static schedule);
+//	loop-carried: M→ST <4,1> (the store writes the previous iteration's
+//	product), M→M <4,1> (product accumulates), L4→L4 <0,1> and ST→ST <0,1>
+//	(address updates), BT→L4/ST/C4/M/BT <0,1> (control: the next iteration
+//	follows the branch).
+//
+// When classes matter (multi-unit machines) L4/ST/C4 are fixed-point, M is
+// the float/multiply class, BT the branch class.
+func NewFig3() *Fig3 {
+	g := graph.New(5)
+	f := &Fig3{G: g, LoadLat: 1, MulLat: 4, CmpLat: 1}
+	f.L4 = g.AddNode("L4", 1, int(machine.ClassFixed), 0)
+	f.ST = g.AddNode("ST", 1, int(machine.ClassFixed), 0)
+	f.C4 = g.AddNode("C4", 1, int(machine.ClassFixed), 0)
+	f.M = g.AddNode("M", 1, int(machine.ClassFloat), 0)
+	f.BT = g.AddNode("BT", 1, int(machine.ClassBranch), 0)
+	// Loop-independent data dependences.
+	g.MustEdge(f.L4, f.C4, f.LoadLat, 0)
+	g.MustEdge(f.L4, f.M, f.LoadLat, 0)
+	g.MustEdge(f.C4, f.BT, f.CmpLat, 0)
+	// Control dependences: every instruction precedes BT in the emitted code.
+	g.MustEdge(f.ST, f.BT, 0, 0)
+	g.MustEdge(f.M, f.BT, 0, 0)
+	g.MustEdge(f.L4, f.BT, 0, 0)
+	// Loop-carried dependences.
+	g.MustEdge(f.M, f.ST, f.MulLat, 1)
+	g.MustEdge(f.M, f.M, f.MulLat, 1)
+	g.MustEdge(f.L4, f.L4, 0, 1)
+	g.MustEdge(f.ST, f.ST, 0, 1)
+	g.MustEdge(f.BT, f.L4, 0, 1)
+	g.MustEdge(f.BT, f.ST, 0, 1)
+	g.MustEdge(f.BT, f.C4, 0, 1)
+	g.MustEdge(f.BT, f.M, 0, 1)
+	g.MustEdge(f.BT, f.BT, 0, 1)
+	f.Schedule1 = []graph.NodeID{f.L4, f.ST, f.C4, f.M, f.BT}
+	f.Schedule2 = []graph.NodeID{f.L4, f.ST, f.M, f.C4, f.BT}
+	return f
+}
+
+// Fig8 holds the three-node counter-example loop of Figure 8: nodes 1, 2, 3
+// with loop-independent edges 1→3 <1,0> and 2→3 <1,0> (completely symmetric
+// in nodes 1 and 2), plus a loop-carried edge 3→1 <1,1> (the asymmetry the
+// single-source transform cannot see). Schedule S1 = (1 2 3)ⁿ completes in
+// 5n−1 cycles; S2 = (2 1 3)ⁿ completes in 4n cycles, because putting node 2
+// first lets node 1 absorb the loop-carried latency.
+type Fig8 struct {
+	G          *graph.Graph
+	N1, N2, N3 graph.NodeID
+	S1, S2     []graph.NodeID
+}
+
+// NewFig8 builds the Figure 8 loop.
+func NewFig8() *Fig8 {
+	g := graph.New(3)
+	f := &Fig8{G: g}
+	f.N1 = g.AddUnit("1")
+	f.N2 = g.AddUnit("2")
+	f.N3 = g.AddUnit("3")
+	g.MustEdge(f.N1, f.N3, 1, 0)
+	g.MustEdge(f.N2, f.N3, 1, 0)
+	g.MustEdge(f.N3, f.N1, 1, 1)
+	// Control: node 3 (the branch) is followed by the next iteration.
+	g.MustEdge(f.N3, f.N2, 0, 1)
+	g.MustEdge(f.N3, f.N3, 0, 1)
+	f.S1 = []graph.NodeID{f.N1, f.N2, f.N3}
+	f.S2 = []graph.NodeID{f.N2, f.N1, f.N3}
+	return f
+}

@@ -1,0 +1,289 @@
+// Package rank implements the Rank Algorithm of Palem & Simons (TOPLAS '93)
+// as used by Sarkar & Simons (SPAA '96, §2.1): given per-node deadlines, it
+// computes rank(v) — an upper bound on the completion time of v in any
+// schedule in which v and all of v's descendants complete by their
+// deadlines — and then greedily list-schedules in nondecreasing rank order.
+//
+// For unit execution times, 0/1 latencies, and a single functional unit the
+// resulting schedule is optimal (minimum makespan, and minimum tardiness
+// under deadlines). For general machines (§4.2) the same computation is a
+// heuristic: ranks are derived by inserting each descendant whole into a
+// per-class backward schedule at the latest time no later than its rank.
+package rank
+
+import (
+	"fmt"
+	"sort"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/sched"
+)
+
+// Big is the artificially large deadline D of §2.1: big enough never to
+// constrain any real schedule, small enough to leave headroom for the
+// arithmetic (ranks only ever decrease from here).
+const Big = 1 << 28
+
+// UniformDeadlines returns n copies of d.
+func UniformDeadlines(n, d int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// Compute returns rank(v) for every node of g under deadlines d on machine m.
+//
+// rank(v) is the largest completion time c ≤ d(v) such that, if v completes
+// at c, every descendant u of v can still complete by rank(u): each u must
+// start no earlier than c + delta(v,u), where delta is the longest
+// dependence path from v's completion to u's start (sum of intermediate
+// execution times and latencies), and the descendants must fit one per
+// functional unit of their class at any time. Feasibility of a candidate c
+// is tested with an EDF-style earliest-fit placement (exact for unit
+// execution times; a faithful heuristic for the general machines of §4.2),
+// and c is found by binary search — feasibility is monotone in c. This
+// reproduces every rank value printed in the paper's §2 examples.
+func Compute(g *graph.Graph, m *machine.Machine, d []int) ([]int, error) {
+	n := g.Len()
+	if len(d) != n {
+		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), n)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	desc, err := g.Descendants()
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = d[i]
+	}
+
+	// topoPos[v] = position of v in the topological order, used to evaluate
+	// the per-ancestor longest-path DP in one forward sweep.
+	topoPos := make([]int, n)
+	for i, id := range order {
+		topoPos[id] = i
+	}
+
+	delta := make([]int, n) // scratch: longest path v⇝u (finish(v) to start(u))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if desc[v].Empty() {
+			continue
+		}
+		// delta(u) = max over distance-0 in-edges (p → u) with p ∈ {v} ∪
+		// descendants(v) of (0 if p==v else delta(p)+exec(p)) + latency.
+		// Evaluated in global topological order restricted to descendants.
+		var members []graph.NodeID
+		desc[v].ForEach(func(u int) { members = append(members, graph.NodeID(u)) })
+		sort.Slice(members, func(a, b int) bool { return topoPos[members[a]] < topoPos[members[b]] })
+		for _, u := range members {
+			delta[u] = -1
+		}
+		for _, e := range g.Out(v) {
+			if e.Distance == 0 && desc[v].Has(int(e.Dst)) && e.Latency > delta[e.Dst] {
+				delta[e.Dst] = e.Latency
+			}
+		}
+		for _, u := range members {
+			du := delta[u]
+			for _, e := range g.Out(u) {
+				if e.Distance != 0 || !desc[v].Has(int(e.Dst)) {
+					continue
+				}
+				if cand := du + g.Node(u).Exec + e.Latency; cand > delta[e.Dst] {
+					delta[e.Dst] = cand
+				}
+			}
+		}
+		ds := make([]descendant, 0, len(members))
+		for _, u := range members {
+			ds = append(ds, descendant{
+				rank:  ranks[u],
+				exec:  g.Node(u).Exec,
+				class: machine.UnitClass(g.Node(u).Class),
+				lat:   delta[u],
+			})
+		}
+		// EDF exactness wants nondecreasing rank order; break ties by
+		// release (latency) then arbitrary.
+		sort.Slice(ds, func(a, b int) bool {
+			if ds[a].rank != ds[b].rank {
+				return ds[a].rank < ds[b].rank
+			}
+			return ds[a].lat > ds[b].lat
+		})
+		// Necessary upper bounds narrow the search range.
+		hi := ranks[v]
+		total := 0
+		maxLat := 0
+		for _, u := range ds {
+			if b := u.rank - u.exec - u.lat; b < hi {
+				hi = b
+			}
+			total += u.exec
+			if u.lat > maxLat {
+				maxLat = u.lat
+			}
+		}
+		// At lo the releases leave ample slack below every deadline, so
+		// infeasibility at lo means the descendants' ranks conflict on their
+		// own (no completion time of v can help).
+		lo := hi - 2*(total+maxLat+2)
+		if !packFeasible(ds, m, lo) {
+			ranks[v] = lo // hopelessly infeasible; surfaces as rank < exec
+			continue
+		}
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			if packFeasible(ds, m, mid) {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		ranks[v] = lo
+	}
+	return ranks, nil
+}
+
+// descendant is one entry in the rank feasibility test: it must run for exec
+// cycles on a unit of its class, starting no earlier than c + lat, and
+// complete by rank.
+type descendant struct {
+	rank  int
+	exec  int
+	class machine.UnitClass
+	lat   int
+}
+
+// packFeasible reports whether all descendants (sorted by nondecreasing
+// rank) can be placed when their ancestor completes at time c: each is
+// placed at the earliest free position ≥ c + lat on its class pool and must
+// finish by its rank. Exact for unit execution times (EDF exchange
+// argument); earliest-fit heuristic for longer instructions.
+func packFeasible(ds []descendant, m *machine.Machine, c int) bool {
+	// occupied[class][t] = number of units of the class busy at time t.
+	occupied := map[machine.UnitClass]map[int]int{}
+	for _, u := range ds {
+		cls := u.class
+		if m.SingleUnitOnly() {
+			cls = 0
+		}
+		units := m.UnitsFor(cls)
+		if units == 0 {
+			units = 1 // unschedulable classes are caught by the list scheduler
+		}
+		occ := occupied[cls]
+		if occ == nil {
+			occ = map[int]int{}
+			occupied[cls] = occ
+		}
+		start := c + u.lat
+	place:
+		for {
+			for t := start; t < start+u.exec; t++ {
+				if occ[t] >= units {
+					start = t + 1
+					continue place
+				}
+			}
+			break
+		}
+		if start+u.exec > u.rank {
+			return false
+		}
+		for t := start; t < start+u.exec; t++ {
+			occ[t]++
+		}
+	}
+	return true
+}
+
+// ListFromRanks builds the rank-ordered priority list: nondecreasing rank,
+// ties broken by position in tie (which must be a permutation of all nodes;
+// pass sched.SourceOrder(g) for program order).
+func ListFromRanks(g *graph.Graph, ranks []int, tie []graph.NodeID) []graph.NodeID {
+	pos := make([]int, g.Len())
+	for i, id := range tie {
+		pos[id] = i
+	}
+	list := append([]graph.NodeID(nil), tie...)
+	sort.SliceStable(list, func(a, b int) bool {
+		if ranks[list[a]] != ranks[list[b]] {
+			return ranks[list[a]] < ranks[list[b]]
+		}
+		return pos[list[a]] < pos[list[b]]
+	})
+	return list
+}
+
+// Result is the outcome of one rank_alg run.
+type Result struct {
+	S     *sched.Schedule
+	Ranks []int
+	// Feasible reports whether every node finished by its deadline and no
+	// rank fell below the node's execution time. In the paper's restricted
+	// case (UET, 0/1 latencies, single unit) greedy-by-rank meets all
+	// deadlines whenever any schedule does, so Feasible == "a feasible
+	// schedule exists".
+	Feasible bool
+}
+
+// Run executes the full rank_alg: compute ranks under deadlines d, schedule
+// greedily in nondecreasing rank order (ties broken by tie order, defaulting
+// to program order), and report deadline feasibility.
+func Run(g *graph.Graph, m *machine.Machine, d []int, tie []graph.NodeID) (*Result, error) {
+	ranks, err := Compute(g, m, d)
+	if err != nil {
+		return nil, err
+	}
+	if tie == nil {
+		tie = sched.SourceOrder(g)
+	}
+	list := ListFromRanks(g, ranks, tie)
+	s, err := sched.ListSchedule(g, m, list)
+	if err != nil {
+		return nil, err
+	}
+	feasible := true
+	for v := 0; v < g.Len(); v++ {
+		if ranks[v] < g.Node(graph.NodeID(v)).Exec {
+			feasible = false
+			break
+		}
+		if s.Finish(graph.NodeID(v)) > d[v] {
+			feasible = false
+			break
+		}
+	}
+	return &Result{S: s, Ranks: ranks, Feasible: feasible}, nil
+}
+
+// Makespan is a convenience wrapper: minimum-makespan schedule of g on m by
+// rank_alg with the artificial deadline D = Big (optimal in the restricted
+// case, heuristic otherwise).
+func Makespan(g *graph.Graph, m *machine.Machine) (*sched.Schedule, error) {
+	res, err := Run(g, m, UniformDeadlines(g.Len(), Big), nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.S, nil
+}
+
+// Rebase subtracts delta from every deadline (the paper's "decrement every
+// deadline, and consequently every rank, by D − T" step), returning a new
+// slice.
+func Rebase(d []int, delta int) []int {
+	out := make([]int, len(d))
+	for i, v := range d {
+		out[i] = v - delta
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+)
+
+func TestComputeFigure1PaperRanks(t *testing.T) {
+	// §2.1: with every deadline 100, rank(a)=rank(r)=100, rank(w)=rank(b)=98,
+	// rank(x)=rank(e)=95.
+	f := paperex.NewFig1()
+	m := machine.SingleUnit(2)
+	ranks, err := Compute(f.G, m, UniformDeadlines(f.G.Len(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[graph.NodeID]int{f.A: 100, f.R: 100, f.W: 98, f.B: 98, f.X: 95, f.E: 95}
+	for id, w := range want {
+		if ranks[id] != w {
+			t.Errorf("rank(%s) = %d, want %d", f.G.Node(id).Label, ranks[id], w)
+		}
+	}
+}
+
+func TestRunFigure1MakespanAndIdleSlot(t *testing.T) {
+	// §2.1-2.2: the paper's tie order (e,x,b,w,a,r) yields a makespan-7
+	// schedule with one idle slot at time 2.
+	f := paperex.NewFig1()
+	m := machine.SingleUnit(2)
+	res, err := Run(f.G, m, UniformDeadlines(f.G.Len(), 100), f.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("deadline-100 schedule reported infeasible")
+	}
+	if got := res.S.Makespan(); got != 7 {
+		t.Fatalf("makespan = %d, want 7\n%s", got, res.S)
+	}
+	idles := res.S.IdleSlots()
+	if len(idles) != 1 || idles[0] != 2 {
+		t.Fatalf("idle slots = %v, want [2]\n%s", idles, res.S)
+	}
+	if err := res.S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeFigure2PaperRanks(t *testing.T) {
+	// §2.3: merged BB1 ∪ BB2 under deadline 100: rank(g)=rank(v)=rank(a)=
+	// rank(r)=100, rank(p)=rank(b)=98, rank(q)=97, rank(z)=95, rank(w)=93,
+	// rank(e)=91, rank(x)=90.
+	f := paperex.NewFig2()
+	m := machine.SingleUnit(2)
+	ranks, err := Compute(f.G, m, UniformDeadlines(f.G.Len(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[graph.NodeID]int{
+		f.Gn: 100, f.V: 100, f.A: 100, f.R: 100,
+		f.P: 98, f.B: 98, f.Q: 97, f.Z: 95, f.W: 93, f.E: 91, f.X: 90,
+	}
+	for id, w := range want {
+		if ranks[id] != w {
+			t.Errorf("rank(%s) = %d, want %d", f.G.Node(id).Label, ranks[id], w)
+		}
+	}
+}
+
+func TestRunFigure2MergedMakespan11(t *testing.T) {
+	// §2.3: the lower bound on a legal schedule for BB1 ∪ BB2 is 11, achieved
+	// by rank_alg on the merged graph.
+	f := paperex.NewFig2()
+	m := machine.SingleUnit(2)
+	res, err := Run(f.G, m, UniformDeadlines(f.G.Len(), 100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.S.Makespan(); got != 11 {
+		t.Fatalf("merged makespan = %d, want 11\n%s", got, res.S)
+	}
+	if err := res.S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksEqualDeadlinesForSinks(t *testing.T) {
+	g := graph.New(3)
+	g.AddUnit("a")
+	g.AddUnit("b")
+	g.AddUnit("c")
+	d := []int{10, 20, 30}
+	ranks, err := Compute(g, machine.SingleUnit(1), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range d {
+		if ranks[i] != w {
+			t.Fatalf("independent node rank[%d] = %d, want deadline %d", i, ranks[i], w)
+		}
+	}
+}
+
+func TestRankChainWithLatencies(t *testing.T) {
+	// a -ℓ=1-> b -ℓ=0-> c, deadlines 10: rank(c)=10, rank(b)=9 (start(c)=9,
+	// ℓ=0), rank(a)=start(b)−1 = 8−1 = 7.
+	g := graph.New(3)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	c := g.AddUnit("c")
+	g.MustEdge(a, b, 1, 0)
+	g.MustEdge(b, c, 0, 0)
+	ranks, err := Compute(g, machine.SingleUnit(1), UniformDeadlines(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[c] != 10 || ranks[b] != 9 || ranks[a] != 7 {
+		t.Fatalf("ranks = %v, want [7 9 10]", ranks)
+	}
+}
+
+func TestRankDetectsInfeasibleDeadlines(t *testing.T) {
+	g := graph.New(2)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	g.MustEdge(a, b, 1, 0)
+	// b must finish by 2 → a by 0 < exec: infeasible.
+	res, err := Run(g, machine.SingleUnit(1), []int{100, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("infeasible deadlines reported feasible")
+	}
+}
+
+func TestRankFeasibleTightDeadlines(t *testing.T) {
+	g := graph.New(2)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	g.MustEdge(a, b, 1, 0)
+	res, err := Run(g, machine.SingleUnit(1), []int{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("feasible tight deadlines reported infeasible")
+	}
+	if res.S.Start[a] != 0 || res.S.Start[b] != 2 {
+		t.Fatalf("schedule = %v", res.S.Start)
+	}
+}
+
+func TestDeadlinesShapeTheSchedule(t *testing.T) {
+	// Two independent nodes; the one with the tighter deadline goes first
+	// regardless of ID order.
+	g := graph.New(2)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	res, err := Run(g, machine.SingleUnit(1), []int{10, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S.Start[b] != 0 || res.S.Start[a] != 1 {
+		t.Fatalf("deadline priority ignored: %v", res.S.Start)
+	}
+	if !res.Feasible {
+		t.Fatal("should be feasible")
+	}
+}
+
+func TestListFromRanksTieOrder(t *testing.T) {
+	g := graph.New(3)
+	g.AddUnit("a")
+	g.AddUnit("b")
+	g.AddUnit("c")
+	ranks := []int{5, 5, 1}
+	tie := []graph.NodeID{1, 0, 2}
+	list := ListFromRanks(g, ranks, tie)
+	want := []graph.NodeID{2, 1, 0}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Fatalf("list = %v, want %v", list, want)
+		}
+	}
+}
+
+func TestRebase(t *testing.T) {
+	d := []int{100, 100, 100}
+	r := Rebase(d, 93)
+	for _, v := range r {
+		if v != 7 {
+			t.Fatalf("Rebase result %v, want all 7", r)
+		}
+	}
+	if d[0] != 100 {
+		t.Fatal("Rebase mutated input")
+	}
+}
+
+func TestComputeRejectsWrongDeadlineCount(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnit("a")
+	g.AddUnit("b")
+	if _, err := Compute(g, machine.SingleUnit(1), []int{1}); err == nil {
+		t.Fatal("wrong-length deadlines accepted")
+	}
+}
+
+func TestMakespanConvenience(t *testing.T) {
+	f := paperex.NewFig1()
+	s, err := Makespan(f.G, machine.SingleUnit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 7 {
+		t.Fatalf("Makespan schedule = %d, want 7", s.Makespan())
+	}
+}
+
+func TestRankMultiUnitBackwardPack(t *testing.T) {
+	// Two sinks of different classes can share the latest slot on a
+	// two-class machine, so their common parent's rank is less constrained
+	// than on a single unit.
+	g := graph.New(3)
+	p := g.AddNode("p", 1, 0, 0)
+	s1 := g.AddNode("s1", 1, 0, 0)
+	s2 := g.AddNode("s2", 1, 1, 0)
+	g.MustEdge(p, s1, 0, 0)
+	g.MustEdge(p, s2, 0, 0)
+	d := UniformDeadlines(3, 10)
+
+	single := machine.SingleUnit(1)
+	rSingle, err := Compute(g, single, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single unit: pack s1@10, s2@9 → rank(p) = start(s2) = 8.
+	if rSingle[p] != 8 {
+		t.Fatalf("single-unit rank(p) = %d, want 8", rSingle[p])
+	}
+
+	multi := machine.NewMachine("2class", []int{1, 1}, 1)
+	rMulti, err := Compute(g, multi, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Separate classes: both sinks complete at 10 → rank(p) = 9.
+	if rMulti[p] != 9 {
+		t.Fatalf("multi-unit rank(p) = %d, want 9", rMulti[p])
+	}
+}
+
+func TestRankNonUnitExecTimes(t *testing.T) {
+	// p → long(exec 3) with deadline 10: long's backward start is 7, so
+	// rank(p) = 7 (latency 0).
+	g := graph.New(2)
+	p := g.AddUnit("p")
+	long := g.AddNode("long", 3, 0, 0)
+	g.MustEdge(p, long, 0, 0)
+	ranks, err := Compute(g, machine.SingleUnit(1), UniformDeadlines(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[p] != 7 {
+		t.Fatalf("rank(p) = %d, want 7", ranks[p])
+	}
+}
+
+func randomUETDAG(r *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddUnit("n")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertyRankScheduleValidAndFeasibleWithBigDeadlines(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(25), 0.3)
+		m := machine.SingleUnit(4)
+		res, err := Run(g, m, UniformDeadlines(g.Len(), Big), nil)
+		if err != nil {
+			return false
+		}
+		return res.Feasible && res.S.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRankIsUpperBoundInRankSchedule(t *testing.T) {
+	// In the schedule produced by rank_alg with feasible deadlines, every
+	// node finishes by its rank (ranks are achievable completion bounds).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(20), 0.3)
+		m := machine.SingleUnit(4)
+		res, err := Run(g, m, UniformDeadlines(g.Len(), Big), nil)
+		if err != nil || !res.Feasible {
+			return false
+		}
+		for v := 0; v < g.Len(); v++ {
+			if res.S.Finish(graph.NodeID(v)) > res.Ranks[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRanksMonotoneInDeadlines(t *testing.T) {
+	// Loosening every deadline cannot decrease any rank.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(20), 0.3)
+		m := machine.SingleUnit(4)
+		d1 := make([]int, g.Len())
+		for i := range d1 {
+			d1[i] = 20 + r.Intn(30)
+		}
+		d2 := make([]int, g.Len())
+		for i := range d2 {
+			d2[i] = d1[i] + r.Intn(10)
+		}
+		r1, err1 := Compute(g, m, d1)
+		r2, err2 := Compute(g, m, d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range r1 {
+			if r2[i] < r1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRebasedRanksShiftExactly(t *testing.T) {
+	// Compute with deadline D, then with deadline D−k: every rank shifts
+	// down by exactly k (rank computation is translation-invariant).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(20), 0.3)
+		m := machine.SingleUnit(4)
+		k := 1 + r.Intn(50)
+		r1, err1 := Compute(g, m, UniformDeadlines(g.Len(), 1000))
+		r2, err2 := Compute(g, m, UniformDeadlines(g.Len(), 1000-k))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range r1 {
+			if r1[i]-r2[i] != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

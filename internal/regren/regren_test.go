@@ -1,0 +1,247 @@
+package regren
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/deps"
+	"aisched/internal/isa"
+	"aisched/internal/machine"
+	"aisched/internal/minic"
+	"aisched/internal/rank"
+	"aisched/internal/workload"
+)
+
+func TestRenameRemovesWAW(t *testing.T) {
+	// r1 = 1 ; use r1 ; r1 = 2 ; use r1 — renaming splits the two webs.
+	ins := []isa.Instr{
+		{Op: isa.LI, Dst: isa.GPR(1), Imm: 1},
+		{Op: isa.ADD, Dst: isa.GPR(2), SrcA: isa.GPR(1), SrcB: isa.GPR(1)},
+		{Op: isa.LI, Dst: isa.GPR(1), Imm: 2},
+		{Op: isa.ADD, Dst: isa.GPR(3), SrcA: isa.GPR(1), SrcB: isa.GPR(1)},
+	}
+	if FalseDeps(ins) == 0 {
+		t.Fatal("setup has no false deps")
+	}
+	out := Rename(ins)
+	if FalseDeps(out) != 0 {
+		t.Fatalf("false deps remain: %v", out)
+	}
+	// The first LI moved to a scratch register; its consumer follows it.
+	if out[0].Dst == isa.GPR(1) {
+		t.Fatal("early def kept the architectural register")
+	}
+	if out[1].SrcA != out[0].Dst {
+		t.Fatal("use not rewritten to the renamed def")
+	}
+	// The LAST def of r1 keeps r1 (live-out preservation).
+	if out[2].Dst != isa.GPR(1) {
+		t.Fatalf("final def renamed away from r1: %v", out[2])
+	}
+}
+
+func TestRenamePreservesLiveOutRegisters(t *testing.T) {
+	ins := []isa.Instr{
+		{Op: isa.LI, Dst: isa.GPR(5), Imm: 1},
+		{Op: isa.LI, Dst: isa.GPR(5), Imm: 2},
+		{Op: isa.LI, Dst: isa.GPR(6), Imm: 3},
+	}
+	out := Rename(ins)
+	// Final values must land in the original registers.
+	if out[1].Dst != isa.GPR(5) || out[2].Dst != isa.GPR(6) {
+		t.Fatalf("live-out registers not preserved: %v", out)
+	}
+}
+
+func TestRenameKeepsUpdateFormBases(t *testing.T) {
+	ins := []isa.Instr{
+		{Op: isa.LOADU, Dst: isa.GPR(6), Base: isa.GPR(7), Imm: 4},
+		{Op: isa.LOADU, Dst: isa.GPR(8), Base: isa.GPR(7), Imm: 4},
+	}
+	out := Rename(ins)
+	if out[0].Base != isa.GPR(7) || out[1].Base != isa.GPR(7) {
+		t.Fatalf("update-form base was renamed: %v", out)
+	}
+}
+
+func TestRenameConditionRegistersUntouched(t *testing.T) {
+	ins := []isa.Instr{
+		{Op: isa.CMPI, Dst: isa.CR(1), SrcA: isa.GPR(1), Imm: 0},
+		{Op: isa.CMPI, Dst: isa.CR(1), SrcA: isa.GPR(2), Imm: 0},
+		{Op: isa.BT, SrcA: isa.CR(1), Target: "L"},
+	}
+	out := Rename(ins)
+	if out[0].Dst != isa.CR(1) || out[1].Dst != isa.CR(1) || out[2].SrcA != isa.CR(1) {
+		t.Fatalf("condition registers touched: %v", out)
+	}
+}
+
+func TestRenameGracefulWhenFileExhausted(t *testing.T) {
+	// Touch every GPR so no scratch registers remain; renaming must be an
+	// identity (up to no-ops), not a panic.
+	var ins []isa.Instr
+	for i := 0; i < isa.NumGPR; i++ {
+		ins = append(ins, isa.Instr{Op: isa.LI, Dst: isa.GPR(i), Imm: int64(i)})
+		ins = append(ins, isa.Instr{Op: isa.LI, Dst: isa.GPR(i), Imm: int64(i + 1)})
+	}
+	out := Rename(ins)
+	if len(out) != len(ins) {
+		t.Fatal("length changed")
+	}
+	for i := range out {
+		if out[i].Dst != ins[i].Dst {
+			t.Fatalf("instr %d renamed with no free registers", i)
+		}
+	}
+}
+
+// renamedSemanticsEquivalent abstractly interprets both sequences (register
+// values as symbolic expressions) and compares the final architectural
+// register state and the store streams.
+func renamedSemanticsEquivalent(a, b []isa.Instr) bool {
+	type state struct {
+		regs   map[isa.Reg]string
+		stores []string
+	}
+	run := func(ins []isa.Instr) state {
+		s := state{regs: map[isa.Reg]string{}}
+		val := func(r isa.Reg) string {
+			if v, ok := s.regs[r]; ok {
+				return v
+			}
+			return "init:" + r.String()
+		}
+		for _, in := range ins {
+			switch in.Op {
+			case isa.LI:
+				s.regs[in.Dst] = "imm"
+			case isa.MOV:
+				s.regs[in.Dst] = val(in.SrcA)
+			case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.MUL, isa.DIV:
+				s.regs[in.Dst] = in.Op.String() + "(" + val(in.SrcA) + "," + val(in.SrcB) + ")"
+			case isa.ADDI, isa.SUBI:
+				s.regs[in.Dst] = in.Op.String() + "(" + val(in.SrcA) + ",imm)"
+			case isa.LOAD:
+				s.regs[in.Dst] = "mem(" + val(in.Base) + ")"
+			case isa.LOADU:
+				s.regs[in.Dst] = "mem(" + val(in.Base) + ")"
+				s.regs[in.Base] = "upd(" + val(in.Base) + ")"
+			case isa.STORE:
+				s.stores = append(s.stores, val(in.SrcA)+"@"+val(in.Base))
+			case isa.STOREU:
+				s.stores = append(s.stores, val(in.SrcA)+"@"+val(in.Base))
+				s.regs[in.Base] = "upd(" + val(in.Base) + ")"
+			case isa.CMP, isa.CMPI:
+				s.regs[in.Dst] = "cmp(" + val(in.SrcA) + ")"
+			}
+		}
+		return s
+	}
+	sa, sb := run(a), run(b)
+	if len(sa.stores) != len(sb.stores) {
+		return false
+	}
+	for i := range sa.stores {
+		if sa.stores[i] != sb.stores[i] {
+			return false
+		}
+	}
+	// Architectural registers written by the ORIGINAL sequence must hold
+	// the same values afterward (scratch registers may differ).
+	for _, in := range a {
+		for _, d := range in.Defs() {
+			if sa.regs[d] != sb.regs[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPropertyRenamePreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := workload.RandomProgram(r, 4)
+		comp, err := minic.Compile(src)
+		if err != nil {
+			return false
+		}
+		for _, b := range comp.TraceBlocks() {
+			out := Rename(b)
+			if !renamedSemanticsEquivalent(b, out) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRenameNeverIncreasesScheduleLength(t *testing.T) {
+	// On a multi-issue machine, renaming can only relax constraints, so the
+	// rank schedule of a renamed block is never longer.
+	m := machine.NewMachine("2fx+fp+br", []int{2, 1, 1}, 4)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := workload.RandomProgram(r, 4)
+		comp, err := minic.Compile(src)
+		if err != nil {
+			return false
+		}
+		for _, b := range comp.TraceBlocks() {
+			g1 := deps.BuildBlock(b, 0)
+			g2 := deps.BuildBlock(Rename(b), 0)
+			s1, err1 := rank.Makespan(g1, m)
+			s2, err2 := rank.Makespan(g2, m)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if s2.Makespan() > s1.Makespan() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRenameOnlyRelaxesConstraints(t *testing.T) {
+	// The renamed block's ordering constraints are a subset of the
+	// original's in the transitive-closure sense: every dependence path in
+	// the renamed graph corresponds to a path in the original. (The raw
+	// pairwise edge count can go either way because a removed WAR edge can
+	// unmask one that a RAW chain previously subsumed.)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := workload.RandomProgram(r, 5)
+		comp, err := minic.Compile(src)
+		if err != nil {
+			return false
+		}
+		for _, b := range comp.TraceBlocks() {
+			g1 := deps.BuildBlock(b, 0)
+			g2 := deps.BuildBlock(Rename(b), 0)
+			d1, err1 := g1.Descendants()
+			d2, err2 := g2.Descendants()
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for v := 0; v < g1.Len(); v++ {
+				inter := d2[v].Clone()
+				inter.IntersectWith(d1[v])
+				if inter.Count() != d2[v].Count() {
+					return false // renamed graph orders a pair the original did not
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package sched defines the schedule representation shared by every
+// scheduler in this repository, the greedy list scheduler that underlies
+// both the Rank Algorithm and the hardware issue model, and the legality
+// checks of Sarkar & Simons Definition 2.3 (Window Constraint and Ordering
+// Constraint).
+//
+// Time conventions: cycles are integers starting at 0. A node with start
+// time s and execution time e occupies its functional unit during [s, s+e)
+// and finishes at s+e. An edge (x, y) with latency ℓ requires
+// start(y) ≥ finish(x) + ℓ. Only distance-0 (loop-independent) edges
+// constrain a single-iteration schedule; loop-carried edges are handled by
+// internal/loops and the dynamic simulator.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// Unassigned marks a node that has no start time in a Schedule.
+const Unassigned = -1
+
+// Schedule maps every node of a graph to a start time and functional unit.
+type Schedule struct {
+	G *graph.Graph
+	M *machine.Machine
+	// Start[v] is the start cycle of node v, or Unassigned.
+	Start []int
+	// Unit[v] is the global unit index node v runs on (0-based across all
+	// classes, in class order), or Unassigned.
+	Unit []int
+}
+
+// New returns an empty (all-unassigned) schedule for g on m.
+func New(g *graph.Graph, m *machine.Machine) *Schedule {
+	s := &Schedule{
+		G:     g,
+		M:     m,
+		Start: make([]int, g.Len()),
+		Unit:  make([]int, g.Len()),
+	}
+	for i := range s.Start {
+		s.Start[i] = Unassigned
+		s.Unit[i] = Unassigned
+	}
+	return s
+}
+
+// Clone returns a deep copy sharing the graph and machine.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{G: s.G, M: s.M}
+	c.Start = append([]int(nil), s.Start...)
+	c.Unit = append([]int(nil), s.Unit...)
+	return c
+}
+
+// Finish returns the finish time of v (start + exec), or Unassigned.
+func (s *Schedule) Finish(v graph.NodeID) int {
+	if s.Start[v] == Unassigned {
+		return Unassigned
+	}
+	return s.Start[v] + s.G.Node(v).Exec
+}
+
+// Makespan returns the completion time of the last instruction (0 for an
+// empty schedule). Unassigned nodes are ignored.
+func (s *Schedule) Makespan() int {
+	max := 0
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] == Unassigned {
+			continue
+		}
+		if f := s.Finish(graph.NodeID(v)); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Complete reports whether every node has a start time.
+func (s *Schedule) Complete() bool {
+	for _, st := range s.Start {
+		if st == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// unitBase returns the global index of the first unit of class c and the
+// number of units usable by class c. On a single-unit machine every class
+// maps to unit 0.
+func unitBase(m *machine.Machine, c machine.UnitClass) (base, count int) {
+	if m.SingleUnitOnly() {
+		return 0, 1
+	}
+	for cls := 0; cls < int(c) && cls < len(m.Units); cls++ {
+		base += m.Units[cls]
+	}
+	if int(c) < len(m.Units) {
+		return base, m.Units[c]
+	}
+	return base, 0
+}
+
+// Validate checks that the schedule is complete, respects all distance-0
+// dependence edges, assigns each node to a unit legal for its class, and
+// never runs two nodes on one unit at the same time.
+func (s *Schedule) Validate() error {
+	if !s.Complete() {
+		return fmt.Errorf("sched: schedule is incomplete")
+	}
+	for v := 0; v < s.G.Len(); v++ {
+		id := graph.NodeID(v)
+		if s.Start[v] < 0 {
+			return fmt.Errorf("sched: node %d (%s) has negative start %d", v, s.G.Node(id).Label, s.Start[v])
+		}
+		base, count := unitBase(s.M, machine.UnitClass(s.G.Node(id).Class))
+		if count == 0 {
+			return fmt.Errorf("sched: node %d (%s) has class %d with no units", v, s.G.Node(id).Label, s.G.Node(id).Class)
+		}
+		if s.Unit[v] < base || s.Unit[v] >= base+count {
+			return fmt.Errorf("sched: node %d (%s) on unit %d outside class range [%d,%d)",
+				v, s.G.Node(id).Label, s.Unit[v], base, base+count)
+		}
+		for _, e := range s.G.Out(id) {
+			if e.Distance != 0 {
+				continue
+			}
+			if s.Start[e.Dst] < s.Finish(id)+e.Latency {
+				return fmt.Errorf("sched: edge %d→%d latency %d violated: finish(%d)=%d, start(%d)=%d",
+					e.Src, e.Dst, e.Latency, e.Src, s.Finish(id), e.Dst, s.Start[e.Dst])
+			}
+		}
+	}
+	// Resource conflicts: sort by (unit, start) and check overlap.
+	type occ struct{ unit, start, finish int }
+	occs := make([]occ, 0, s.G.Len())
+	for v := 0; v < s.G.Len(); v++ {
+		occs = append(occs, occ{s.Unit[v], s.Start[v], s.Finish(graph.NodeID(v))})
+	}
+	sort.Slice(occs, func(i, j int) bool {
+		if occs[i].unit != occs[j].unit {
+			return occs[i].unit < occs[j].unit
+		}
+		return occs[i].start < occs[j].start
+	})
+	for i := 1; i < len(occs); i++ {
+		if occs[i].unit == occs[i-1].unit && occs[i].start < occs[i-1].finish {
+			return fmt.Errorf("sched: unit %d runs two nodes at once (starts %d and %d)",
+				occs[i].unit, occs[i-1].start, occs[i].start)
+		}
+	}
+	return nil
+}
+
+// IdleSlots returns the start times of all idle slots across all units: a
+// unit has an idle slot at integer time t < makespan when it is neither
+// starting nor running an instruction at t. Returned ascending, with
+// duplicates when several units are idle at the same time on multi-unit
+// machines. For the paper's single-unit model this is exactly the t_1 < t_2
+// < ... < t_j sequence of §3.
+func (s *Schedule) IdleSlots() []int {
+	T := s.Makespan()
+	total := s.M.TotalUnits()
+	busy := make([][]bool, total)
+	for u := range busy {
+		busy[u] = make([]bool, T)
+	}
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] == Unassigned {
+			continue
+		}
+		for t := s.Start[v]; t < s.Finish(graph.NodeID(v)) && t < T; t++ {
+			busy[s.Unit[v]][t] = true
+		}
+	}
+	var idles []int
+	for t := 0; t < T; t++ {
+		for u := 0; u < total; u++ {
+			if !busy[u][t] {
+				idles = append(idles, t)
+			}
+		}
+	}
+	return idles
+}
+
+// IdleSlotsOnUnit returns the idle-slot start times of one unit.
+func (s *Schedule) IdleSlotsOnUnit(unit int) []int {
+	T := s.Makespan()
+	busy := make([]bool, T)
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] == Unassigned || s.Unit[v] != unit {
+			continue
+		}
+		for t := s.Start[v]; t < s.Finish(graph.NodeID(v)) && t < T; t++ {
+			busy[t] = true
+		}
+	}
+	var idles []int
+	for t := 0; t < T; t++ {
+		if !busy[t] {
+			idles = append(idles, t)
+		}
+	}
+	return idles
+}
+
+// Permutation returns the node IDs ordered by (start time, unit). On a
+// single-unit machine this is the total order P of Definition 2.1.
+func (s *Schedule) Permutation() []graph.NodeID {
+	ids := make([]graph.NodeID, 0, s.G.Len())
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] != Unassigned {
+			ids = append(ids, graph.NodeID(v))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if s.Start[ids[i]] != s.Start[ids[j]] {
+			return s.Start[ids[i]] < s.Start[ids[j]]
+		}
+		return s.Unit[ids[i]] < s.Unit[ids[j]]
+	})
+	return ids
+}
+
+// Subpermutation returns the relative order of the nodes of one block within
+// the schedule's permutation (Definition 2.1's P_k).
+func (s *Schedule) Subpermutation(block int) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range s.Permutation() {
+		if s.G.Node(id).Block == block {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Blocks returns the sorted distinct block indices present in the graph.
+func Blocks(g *graph.Graph) []int {
+	seen := map[int]bool{}
+	for v := 0; v < g.Len(); v++ {
+		seen[g.Node(graph.NodeID(v)).Block] = true
+	}
+	out := make([]int, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConcatSubpermutations returns L = P_1 ∘ P_2 ∘ ... ∘ P_m: the per-block
+// subpermutations concatenated in block order (Definition 2.3's priority
+// list). This is the static instruction order the compiler would emit.
+func (s *Schedule) ConcatSubpermutations() []graph.NodeID {
+	var out []graph.NodeID
+	for _, b := range Blocks(s.G) {
+		out = append(out, s.Subpermutation(b)...)
+	}
+	return out
+}
+
+// String renders the schedule as a per-unit timeline, e.g.
+// "u0: [a b . c]" where '.' is an idle slot.
+func (s *Schedule) String() string {
+	T := s.Makespan()
+	total := s.M.TotalUnits()
+	rows := make([][]string, total)
+	for u := range rows {
+		rows[u] = make([]string, T)
+		for t := range rows[u] {
+			rows[u][t] = "."
+		}
+	}
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] == Unassigned {
+			continue
+		}
+		lbl := s.G.Node(graph.NodeID(v)).Label
+		for t := s.Start[v]; t < s.Finish(graph.NodeID(v)); t++ {
+			rows[s.Unit[v]][t] = lbl
+		}
+	}
+	var b strings.Builder
+	for u := range rows {
+		fmt.Fprintf(&b, "u%d: [%s]", u, strings.Join(rows[u], " "))
+		if u != len(rows)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"aisched/internal/graph"
+)
+
+// Utilization returns the fraction of unit-cycles doing work over the
+// makespan across all functional units (1.0 = no idle slot anywhere).
+func (s *Schedule) Utilization() float64 {
+	T := s.Makespan()
+	if T == 0 {
+		return 0
+	}
+	busy := 0
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] != Unassigned {
+			busy += s.G.Node(graph.NodeID(v)).Exec
+		}
+	}
+	return float64(busy) / float64(T*s.M.TotalUnits())
+}
+
+// TrailingIdle returns the number of consecutive idle cycles at the end of
+// the given unit's timeline before the makespan — the slots anticipatory
+// scheduling tries to create (they overlap with the next block at run
+// time). A unit whose last instruction finishes at the makespan has zero.
+func (s *Schedule) TrailingIdle(unit int) int {
+	T := s.Makespan()
+	lastFinish := 0
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Unit[v] == unit {
+			if f := s.Finish(graph.NodeID(v)); f > lastFinish {
+				lastFinish = f
+			}
+		}
+	}
+	return T - lastFinish
+}
+
+// IdleProfile summarizes the idle structure of a schedule.
+type IdleProfile struct {
+	Makespan  int
+	IdleSlots int
+	// LastIdle is the start time of the latest idle slot, or -1.
+	LastIdle int
+	// MeanIdlePosition is the average idle start normalized by makespan
+	// (→ 1.0 means all idles are late, the anticipatory ideal).
+	MeanIdlePosition float64
+}
+
+// Profile computes the idle-slot summary across all units.
+func (s *Schedule) Profile() IdleProfile {
+	p := IdleProfile{Makespan: s.Makespan(), LastIdle: -1}
+	idles := s.IdleSlots()
+	p.IdleSlots = len(idles)
+	if len(idles) == 0 || p.Makespan == 0 {
+		return p
+	}
+	sum := 0
+	for _, t := range idles {
+		sum += t
+		if t > p.LastIdle {
+			p.LastIdle = t
+		}
+	}
+	p.MeanIdlePosition = float64(sum) / float64(len(idles)) / float64(p.Makespan)
+	return p
+}
+
+// GanttCSV renders the schedule as CSV rows (label,unit,start,finish),
+// convenient for external plotting.
+func (s *Schedule) GanttCSV() string {
+	var b strings.Builder
+	b.WriteString("label,unit,start,finish\n")
+	for _, id := range s.Permutation() {
+		fmt.Fprintf(&b, "%s,%d,%d,%d\n", s.G.Node(id).Label, s.Unit[id], s.Start[id], s.Finish(id))
+	}
+	return b.String()
+}

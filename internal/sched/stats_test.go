@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// idleChain: a _ b (latency-2 edge) on one unit.
+func idleChain(t *testing.T) *Schedule {
+	t.Helper()
+	g := graph.New(2)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	g.MustEdge(a, b, 1, 0)
+	s, err := ListSchedule(g, machine.SingleUnit(1), SourceOrder(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUtilization(t *testing.T) {
+	s := idleChain(t) // a _ b → 2 busy of 3
+	if u := s.Utilization(); u < 0.66 || u > 0.67 {
+		t.Fatalf("utilization = %f, want 2/3", u)
+	}
+	empty := New(graph.New(0), machine.SingleUnit(1))
+	if empty.Utilization() != 0 {
+		t.Fatal("empty schedule utilization must be 0")
+	}
+}
+
+func TestUtilizationMultiUnit(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode("fx", 1, int(machine.ClassFixed), 0)
+	g.AddNode("fl", 1, int(machine.ClassFloat), 0)
+	m := machine.RS6000(1)
+	s, err := ListSchedule(g, m, SourceOrder(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 busy unit-cycles of 3 units × 1 cycle.
+	if u := s.Utilization(); u < 0.66 || u > 0.67 {
+		t.Fatalf("utilization = %f, want 2/3", u)
+	}
+}
+
+func TestTrailingIdle(t *testing.T) {
+	// a b _ _ c-on-other-unit pattern: craft directly.
+	g := graph.New(3)
+	g.AddNode("a", 1, int(machine.ClassFixed), 0)
+	g.AddNode("b", 1, int(machine.ClassFixed), 0)
+	g.AddNode("m", 1, int(machine.ClassFloat), 0)
+	m := machine.RS6000(1)
+	s := New(g, m)
+	s.Start = []int{0, 1, 3}
+	s.Unit = []int{0, 0, 1}
+	// Unit 0's last finish is 2, makespan 4 → trailing idle 2.
+	if ti := s.TrailingIdle(0); ti != 2 {
+		t.Fatalf("TrailingIdle(0) = %d, want 2", ti)
+	}
+	if ti := s.TrailingIdle(1); ti != 0 {
+		t.Fatalf("TrailingIdle(1) = %d, want 0", ti)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	s := idleChain(t) // idle at 1 of makespan 3
+	p := s.Profile()
+	if p.Makespan != 3 || p.IdleSlots != 1 || p.LastIdle != 1 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.MeanIdlePosition < 0.3 || p.MeanIdlePosition > 0.34 {
+		t.Fatalf("MeanIdlePosition = %f, want 1/3", p.MeanIdlePosition)
+	}
+	// No-idle schedule.
+	g := graph.New(1)
+	g.AddUnit("x")
+	s2, _ := ListSchedule(g, machine.SingleUnit(1), SourceOrder(g))
+	p2 := s2.Profile()
+	if p2.IdleSlots != 0 || p2.LastIdle != -1 {
+		t.Fatalf("no-idle profile = %+v", p2)
+	}
+}
+
+func TestGanttCSV(t *testing.T) {
+	s := idleChain(t)
+	csv := s.GanttCSV()
+	if !strings.HasPrefix(csv, "label,unit,start,finish\n") {
+		t.Fatalf("csv header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, "a,0,0,1") || !strings.Contains(csv, "b,0,2,3") {
+		t.Fatalf("csv rows wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,125 @@
+// Package tables renders the experiment harness's results as fixed-width
+// text tables (and summary statistics), the output format of
+// cmd/experiments and EXPERIMENTS.md.
+package tables
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Stats summarizes a sample.
+type Stats struct {
+	N                int
+	Mean, Min, Max   float64
+	Median           float64
+	GeoMean          float64
+	negativeOrZeroGM bool
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) Stats {
+	s := Stats{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[len(sorted)/2]
+	} else {
+		s.Median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	sum, logSum := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		if x > 0 {
+			logSum += math.Log(x)
+		} else {
+			s.negativeOrZeroGM = true
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if !s.negativeOrZeroGM {
+		s.GeoMean = math.Exp(logSum / float64(len(xs)))
+	}
+	return s
+}
+
+// Speedup returns base/v as a speedup factor (how many times faster v is
+// than base); returns 1 when v is zero.
+func Speedup(base, v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return base / v
+}

@@ -1,0 +1,80 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Add("alpha", 1)
+	tb.Add("beta-long-name", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "beta-long-name") || !strings.Contains(out, "2.50") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: every data line at least as wide as the header line.
+	if len(lines[3]) < len(lines[1])-6 {
+		t.Fatalf("alignment looks off:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	want := math.Pow(24, 0.25)
+	if math.Abs(s.GeoMean-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", s.GeoMean, want)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+	zero := Summarize([]float64{0, 1})
+	if zero.GeoMean != 0 {
+		t.Fatal("geomean with zero should be unset")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 5) != 2 {
+		t.Fatal("speedup wrong")
+	}
+	if Speedup(10, 0) != 1 {
+		t.Fatal("zero denominator not guarded")
+	}
+}
+
+func TestPropertySummarizeBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.Abs(xs[i]) > 1e100 {
+				return true // overflow-prone inputs are out of scope (cycle counts)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

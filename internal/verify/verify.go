@@ -1,0 +1,357 @@
+// Package verify provides exhaustive/branch-and-bound optimality oracles
+// used by the T4 experiments and property tests: the executable analogue of
+// the paper's optimality proofs (which live in the unpublished technical
+// report [11]). Everything here is exponential-time and guarded for small
+// instances only.
+package verify
+
+import (
+	"fmt"
+
+	"aisched/internal/graph"
+	"aisched/internal/hw"
+	"aisched/internal/loops"
+	"aisched/internal/machine"
+)
+
+// MaxNodes bounds the instance size accepted by the oracles.
+const MaxNodes = 16
+
+// OptimalMakespan computes the true minimum makespan of a basic-block graph
+// on a single functional unit by branch-and-bound over active schedules (no
+// unit left idle while an instruction is ready — sufficient for optimality
+// on one machine, by an exchange argument).
+func OptimalMakespan(g *graph.Graph, m *machine.Machine) (int, error) {
+	n := g.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	if n > MaxNodes {
+		return 0, fmt.Errorf("verify: %d nodes exceeds oracle limit %d", n, MaxNodes)
+	}
+	if !m.SingleUnitOnly() {
+		return 0, fmt.Errorf("verify: OptimalMakespan supports single-unit machines only")
+	}
+	if !g.IsAcyclic() {
+		return 0, fmt.Errorf("verify: cyclic graph")
+	}
+	cp, err := g.CriticalPathLengths()
+	if err != nil {
+		return 0, err
+	}
+	totalExec := 0
+	for v := 0; v < n; v++ {
+		totalExec += g.Node(graph.NodeID(v)).Exec
+	}
+
+	best := 1 << 30
+	finish := make([]int, n)
+	var dfs func(mask uint32, t, doneExec int)
+	dfs = func(mask uint32, t, doneExec int) {
+		if mask == (1<<uint(n))-1 {
+			max := 0
+			for v := 0; v < n; v++ {
+				if finish[v] > max {
+					max = finish[v]
+				}
+			}
+			if max < best {
+				best = max
+			}
+			return
+		}
+		// Lower bounds: remaining serial work, and critical path from any
+		// unscheduled node released at ≥ its earliest possible start.
+		lb := t + totalExec - doneExec
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) == 0 {
+				r := release(g, mask, finish, graph.NodeID(v))
+				if r >= 0 && r+cp[v] > lb {
+					lb = r + cp[v]
+				}
+			}
+		}
+		if lb >= best {
+			return
+		}
+		// Next decision time: the earliest release among schedulable nodes.
+		next := -1
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				continue
+			}
+			r := release(g, mask, finish, graph.NodeID(v))
+			if r < 0 {
+				continue
+			}
+			if r < t {
+				r = t
+			}
+			if next == -1 || r < next {
+				next = r
+			}
+		}
+		if next == -1 {
+			return // nothing schedulable: impossible in a DAG
+		}
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				continue
+			}
+			r := release(g, mask, finish, graph.NodeID(v))
+			if r < 0 || r > next {
+				continue
+			}
+			e := g.Node(graph.NodeID(v)).Exec
+			finish[v] = next + e
+			dfs(mask|1<<uint(v), next+e, doneExec+e)
+			finish[v] = 0
+		}
+	}
+	dfs(0, 0, 0)
+	return best, nil
+}
+
+// release returns the earliest start of v given placed predecessors, or -1
+// if some predecessor is unscheduled.
+func release(g *graph.Graph, mask uint32, finish []int, v graph.NodeID) int {
+	r := 0
+	for _, e := range g.In(v) {
+		if e.Distance != 0 {
+			continue
+		}
+		if mask&(1<<uint(e.Src)) == 0 {
+			return -1
+		}
+		if c := finish[e.Src] + e.Latency; c > r {
+			r = c
+		}
+	}
+	return r
+}
+
+// OptimalTraceCompletion finds the best dynamic completion time achievable
+// by ANY choice of per-block static orders (each topologically valid within
+// its block), measured by the lookahead-window simulator — the ground-truth
+// optimum that Algorithm Lookahead targets. Exponential in block sizes.
+func OptimalTraceCompletion(g *graph.Graph, m *machine.Machine) (int, []graph.NodeID, error) {
+	n := g.Len()
+	if n > MaxNodes {
+		return 0, nil, fmt.Errorf("verify: %d nodes exceeds oracle limit %d", n, MaxNodes)
+	}
+	blockPerms, err := perBlockTopoOrders(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	best := 1 << 30
+	var bestOrder []graph.NodeID
+	var walk func(i int, acc []graph.NodeID)
+	walk = func(i int, acc []graph.NodeID) {
+		if i == len(blockPerms) {
+			res, err := hw.SimulateTrace(g, m, acc)
+			if err != nil {
+				return // deadlocking order: not achievable, skip
+			}
+			if res.Completion < best {
+				best = res.Completion
+				bestOrder = append([]graph.NodeID(nil), acc...)
+			}
+			return
+		}
+		for _, p := range blockPerms[i] {
+			walk(i+1, append(acc, p...))
+		}
+	}
+	walk(0, nil)
+	if bestOrder == nil {
+		return 0, nil, fmt.Errorf("verify: no executable order found")
+	}
+	return best, bestOrder, nil
+}
+
+// perBlockTopoOrders enumerates all topologically valid permutations of
+// each block's instructions (intra-block edges only).
+func perBlockTopoOrders(g *graph.Graph) ([][][]graph.NodeID, error) {
+	blockIDs := map[int][]graph.NodeID{}
+	var blocks []int
+	for v := 0; v < g.Len(); v++ {
+		b := g.Node(graph.NodeID(v)).Block
+		if _, ok := blockIDs[b]; !ok {
+			blocks = append(blocks, b)
+		}
+		blockIDs[b] = append(blockIDs[b], graph.NodeID(v))
+	}
+	for i := 1; i < len(blocks); i++ {
+		for j := i; j > 0 && blocks[j] < blocks[j-1]; j-- {
+			blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
+		}
+	}
+	var out [][][]graph.NodeID
+	for _, b := range blocks {
+		ids := blockIDs[b]
+		inBlock := map[graph.NodeID]bool{}
+		for _, id := range ids {
+			inBlock[id] = true
+		}
+		var perms [][]graph.NodeID
+		used := map[graph.NodeID]bool{}
+		var cur []graph.NodeID
+		var gen func()
+		gen = func() {
+			if len(cur) == len(ids) {
+				perms = append(perms, append([]graph.NodeID(nil), cur...))
+				return
+			}
+			for _, id := range ids {
+				if used[id] {
+					continue
+				}
+				ok := true
+				for _, e := range g.In(id) {
+					if e.Distance == 0 && inBlock[e.Src] && !used[e.Src] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				used[id] = true
+				cur = append(cur, id)
+				gen()
+				cur = cur[:len(cur)-1]
+				used[id] = false
+			}
+		}
+		gen()
+		if len(perms) == 0 {
+			return nil, fmt.Errorf("verify: block %d has no topological order", b)
+		}
+		out = append(out, perms)
+	}
+	return out, nil
+}
+
+// OptimalLoopII finds the minimum periodic initiation interval over all
+// topologically valid single-block loop body orders (brute force).
+func OptimalLoopII(g *graph.Graph, m *machine.Machine) (*loops.Steady, error) {
+	if g.Len() > 10 {
+		return nil, fmt.Errorf("verify: %d nodes exceeds loop oracle limit 10", g.Len())
+	}
+	perms, err := perBlockTopoOrders(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(perms) != 1 {
+		return nil, fmt.Errorf("verify: OptimalLoopII expects a single-block loop")
+	}
+	var best *loops.Steady
+	for _, order := range perms[0] {
+		st, err := loops.Evaluate(g, m, order)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || st.II < best.II || (st.II == best.II && st.Makespan < best.Makespan) {
+			best = st
+		}
+	}
+	return best, nil
+}
+
+// LatestIdleSlots computes, over ALL minimum-makespan active schedules of a
+// single-unit restricted instance, the latest achievable start time of each
+// idle-slot ordinal — the oracle for the paper's §3 claim that repeated
+// Move_Idle_Slot application yields a minimum-makespan schedule whose idle
+// slots each occur as late as possible. Returns the optimal makespan and,
+// for each ordinal i (0-based), the maximum over optimal schedules of the
+// i-th idle slot's start time. Exponential; guarded by MaxNodes.
+func LatestIdleSlots(g *graph.Graph, m *machine.Machine) (int, []int, error) {
+	n := g.Len()
+	if n == 0 {
+		return 0, nil, nil
+	}
+	if n > MaxNodes {
+		return 0, nil, fmt.Errorf("verify: %d nodes exceeds oracle limit %d", n, MaxNodes)
+	}
+	if !m.SingleUnitOnly() {
+		return 0, nil, fmt.Errorf("verify: LatestIdleSlots supports single-unit machines only")
+	}
+	opt, err := OptimalMakespan(g, m)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Number of idle slots in any optimal schedule of a UET instance is
+	// fixed: opt − total exec time.
+	total := 0
+	for v := 0; v < n; v++ {
+		total += g.Node(graph.NodeID(v)).Exec
+	}
+	slots := opt - total
+	if slots <= 0 {
+		return opt, nil, nil
+	}
+	best := make([]int, slots)
+	for i := range best {
+		best[i] = -1
+	}
+
+	finish := make([]int, n)
+	var dfs func(mask uint32, t int)
+	dfs = func(mask uint32, t int) {
+		if mask == (1<<uint(n))-1 {
+			if t != opt {
+				return
+			}
+			// Reconstruct idle starts from finish times.
+			busy := make([]bool, opt)
+			for v := 0; v < n; v++ {
+				for c := finish[v] - g.Node(graph.NodeID(v)).Exec; c < finish[v]; c++ {
+					busy[c] = true
+				}
+			}
+			ord := 0
+			for c := 0; c < opt && ord < slots; c++ {
+				if !busy[c] {
+					if c > best[ord] {
+						best[ord] = c
+					}
+					ord++
+				}
+			}
+			return
+		}
+		if t >= opt {
+			return
+		}
+		// Active schedules plus deliberate idling (idling is allowed in the
+		// enumeration because the slot positions are what we maximize).
+		next := opt + 1
+		anyReady := false
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				continue
+			}
+			r := release(g, mask, finish, graph.NodeID(v))
+			if r < 0 {
+				continue
+			}
+			if r <= t {
+				anyReady = true
+				e := g.Node(graph.NodeID(v)).Exec
+				finish[v] = t + e
+				dfs(mask|1<<uint(v), t+e)
+				finish[v] = 0
+			} else if r < next {
+				next = r
+			}
+		}
+		// Idle this cycle: either forced (nothing ready) or deliberate.
+		if !anyReady && next <= opt {
+			dfs(mask, next)
+		} else if anyReady {
+			dfs(mask, t+1) // deliberate idle cycle
+		}
+	}
+	dfs(0, 0)
+	return opt, best, nil
+}

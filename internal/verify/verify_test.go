@@ -1,0 +1,310 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/core"
+	"aisched/internal/graph"
+	"aisched/internal/hw"
+	"aisched/internal/idle"
+	"aisched/internal/loops"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+	"aisched/internal/rank"
+)
+
+func TestOptimalMakespanFigure1Is7(t *testing.T) {
+	f := paperex.NewFig1()
+	opt, err := OptimalMakespan(f.G, machine.SingleUnit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 7 {
+		t.Fatalf("optimal makespan = %d, want 7", opt)
+	}
+}
+
+func TestOptimalMakespanChain(t *testing.T) {
+	g := graph.New(3)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	c := g.AddUnit("c")
+	g.MustEdge(a, b, 2, 0)
+	g.MustEdge(b, c, 0, 0)
+	opt, err := OptimalMakespan(g, machine.SingleUnit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 5 {
+		t.Fatalf("optimal = %d, want 5 (a _ _ b c)", opt)
+	}
+}
+
+func TestOptimalMakespanGuards(t *testing.T) {
+	big := graph.New(MaxNodes + 1)
+	for i := 0; i <= MaxNodes; i++ {
+		big.AddUnit("n")
+	}
+	if _, err := OptimalMakespan(big, machine.SingleUnit(1)); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+	small := graph.New(1)
+	small.AddUnit("a")
+	if _, err := OptimalMakespan(small, machine.RS6000(1)); err == nil {
+		t.Fatal("multi-unit machine accepted")
+	}
+}
+
+func TestOptimalMakespanEmpty(t *testing.T) {
+	g := graph.New(0)
+	opt, err := OptimalMakespan(g, machine.SingleUnit(1))
+	if err != nil || opt != 0 {
+		t.Fatalf("empty graph: %d, %v", opt, err)
+	}
+}
+
+func randomUETDAG(r *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddUnit("n")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+			}
+		}
+	}
+	return g
+}
+
+// T4 headline property: the Rank Algorithm is optimal in the restricted
+// case (UET, 0/1 latencies, single functional unit).
+func TestPropertyRankAlgorithmOptimalRestrictedCase(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(9), 0.15+r.Float64()*0.4)
+		m := machine.SingleUnit(1)
+		s, err := rank.Makespan(g, m)
+		if err != nil {
+			return false
+		}
+		opt, err := OptimalMakespan(g, m)
+		if err != nil {
+			return false
+		}
+		return s.Makespan() == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalTraceCompletionFigure2(t *testing.T) {
+	// The Figure 2 trace has 11 nodes — too large to enumerate both blocks
+	// exhaustively within MaxNodes? 6!-bounded topological orders are fine:
+	// verify the oracle matches the known optimum 11 for W=2.
+	f := paperex.NewFig2()
+	m := machine.SingleUnit(2)
+	opt, order, err := OptimalTraceCompletion(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 11 {
+		t.Fatalf("oracle optimum = %d, want 11 (order %v)", opt, order)
+	}
+}
+
+// T4 companion: Algorithm Lookahead against the exhaustive optimum over all
+// per-block static orders, measured by the dynamic window simulator.
+//
+// Reproduction finding (documented in EXPERIMENTS.md): the published merge
+// deadline discipline pins each processed prefix to its locally minimal
+// makespan, which on a small fraction of instances forfeits one cycle that
+// a globally looser packing would recover — so we assert a bounded gap and
+// a high exact-match rate rather than equality.
+func TestPropertyLookaheadMatchesTraceOracle(t *testing.T) {
+	exact, total := 0, 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nblocks := 2 + r.Intn(2)
+		per := 2 + r.Intn(2)
+		g := graph.New(nblocks * per)
+		var blockNodes [][]graph.NodeID
+		for b := 0; b < nblocks; b++ {
+			var ids []graph.NodeID
+			for i := 0; i < per; i++ {
+				ids = append(ids, g.AddNode("n", 1, 0, b))
+			}
+			blockNodes = append(blockNodes, ids)
+		}
+		for b := 0; b < nblocks; b++ {
+			for i := 0; i < per; i++ {
+				for j := i + 1; j < per; j++ {
+					if r.Float64() < 0.4 {
+						g.MustEdge(blockNodes[b][i], blockNodes[b][j], r.Intn(2), 0)
+					}
+				}
+				if b+1 < nblocks {
+					for j := 0; j < per; j++ {
+						if r.Float64() < 0.3 {
+							g.MustEdge(blockNodes[b][i], blockNodes[b+1][j], r.Intn(2), 0)
+						}
+					}
+				}
+			}
+		}
+		m := machine.SingleUnit(1 + r.Intn(4))
+		res, err := core.Lookahead(g, m)
+		if err != nil {
+			return false
+		}
+		sim, err := hw.SimulateTrace(g, m, res.StaticOrder())
+		if err != nil {
+			return false
+		}
+		opt, _, err := OptimalTraceCompletion(g, m)
+		if err != nil {
+			return false
+		}
+		total++
+		if sim.Completion == opt {
+			exact++
+		}
+		return sim.Completion >= opt && sim.Completion <= opt+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || exact*10 < total*8 {
+		t.Fatalf("lookahead matched the oracle on only %d/%d instances (want ≥ 80%%)", exact, total)
+	}
+}
+
+func TestOptimalLoopIIFigure8(t *testing.T) {
+	f := paperex.NewFig8()
+	m := machine.SingleUnit(4)
+	best, err := OptimalLoopII(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.II != 4 {
+		t.Fatalf("loop oracle II = %d, want 4", best.II)
+	}
+}
+
+func TestOptimalLoopIIFigure3(t *testing.T) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	best, err := OptimalLoopII(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.II != 6 {
+		t.Fatalf("loop oracle II = %d, want 6", best.II)
+	}
+	// The general-case algorithm matches the oracle on the paper's example.
+	st, err := loops.ScheduleSingleBlockLoop(f.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.II != best.II {
+		t.Fatalf("general case II %d != oracle II %d", st.II, best.II)
+	}
+}
+
+func TestPropertyGeneralLoopCloseToOracle(t *testing.T) {
+	// The §5.2.3 general case against the brute-force oracle. The optimal
+	// body order sometimes needs the carried-edge TARGET delayed within the
+	// iteration — a shape neither the single-source nor the single-sink
+	// transform expresses — so we assert a bounded gap and a high match
+	// rate (see EXPERIMENTS.md).
+	exact, total := 0, 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddUnit("n")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.35 {
+					g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(2), 0)
+				}
+			}
+		}
+		// A single loop-carried edge with 0/1 latency (restricted model).
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		g.MustEdge(u, v, r.Intn(2), 1)
+		m := machine.SingleUnit(4)
+		st, err := loops.ScheduleSingleBlockLoop(g, m)
+		if err != nil {
+			return false
+		}
+		opt, err := OptimalLoopII(g, m)
+		if err != nil {
+			return false
+		}
+		total++
+		if st.II == opt.II {
+			exact++
+		}
+		return st.II >= opt.II && st.II <= opt.II+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || exact*10 < total*8 {
+		t.Fatalf("general case matched the loop oracle on only %d/%d instances (want ≥ 80%%)", exact, total)
+	}
+}
+
+// T4 companion for §3: after Delay_Idle_Slots, the schedule is still
+// optimal and its FIRST idle slot sits at the latest start achievable by
+// any minimum-makespan schedule; every later slot is within the oracle's
+// per-ordinal bound.
+func TestPropertyDelayIdleSlotsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomUETDAG(r, 2+r.Intn(6), 0.2+r.Float64()*0.3)
+		m := machine.SingleUnit(1)
+		s, err := rank.Makespan(g, m)
+		if err != nil {
+			return false
+		}
+		d := rank.UniformDeadlines(g.Len(), s.Makespan())
+		out, _, err := idle.DelayIdleSlots(s, m, d, nil)
+		if err != nil {
+			return false
+		}
+		opt, best, err := LatestIdleSlots(g, m)
+		if err != nil {
+			return false
+		}
+		if out.Makespan() != opt {
+			return false
+		}
+		slots := out.IdleSlotsOnUnit(0)
+		if len(slots) != len(best) {
+			return false
+		}
+		for i, st := range slots {
+			if st > best[i] {
+				return false // impossible: beyond every optimal schedule
+			}
+		}
+		if len(slots) > 0 && slots[0] != best[0] {
+			t.Logf("seed %d: first idle at %d, oracle max %d (slots %v vs %v)",
+				seed, slots[0], best[0], slots, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomProgram generates a random mini-C program with nStmts top-level
+// statements over a small pool of scalars and arrays — a workload source
+// that exercises the whole compiler pipeline (and doubles as a fuzzer for
+// it). The generated programs always compile: every variable is declared
+// first, expression depth is bounded, and array indices are scalars or
+// scalar±constant.
+func RandomProgram(r *rand.Rand, nStmts int) string {
+	var b strings.Builder
+	scalars := []string{"a", "b", "c", "i"}
+	arrays := []string{"u", "v"}
+	for _, s := range scalars {
+		fmt.Fprintf(&b, "int %s;\n", s)
+	}
+	for _, a := range arrays {
+		fmt.Fprintf(&b, "int %s[32];\n", a)
+	}
+	// Initialize scalars so later reads are defined.
+	for i, s := range scalars {
+		fmt.Fprintf(&b, "%s = %d;\n", s, i+1)
+	}
+
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		switch {
+		case depth <= 0 || r.Intn(3) == 0:
+			if r.Intn(2) == 0 {
+				return scalars[r.Intn(len(scalars))]
+			}
+			return fmt.Sprint(1 + r.Intn(9))
+		case r.Intn(4) == 0:
+			return fmt.Sprintf("%s[%s]", arrays[r.Intn(len(arrays))], scalars[r.Intn(len(scalars))])
+		default:
+			ops := []string{"+", "-", "*", "+", "-"} // multiplies rarer
+			return fmt.Sprintf("(%s %s %s)", expr(depth-1), ops[r.Intn(len(ops))], expr(depth-1))
+		}
+	}
+	cond := func() string {
+		cmp := []string{"<", ">", "==", "!=", "<=", ">="}
+		return fmt.Sprintf("%s %s %d", scalars[r.Intn(len(scalars))], cmp[r.Intn(len(cmp))], r.Intn(10))
+	}
+
+	var stmt func(depth int)
+	stmt = func(depth int) {
+		switch k := r.Intn(6); {
+		case k < 3: // assignment
+			if r.Intn(3) == 0 {
+				fmt.Fprintf(&b, "%s[%s] = %s;\n",
+					arrays[r.Intn(len(arrays))], scalars[r.Intn(len(scalars))], expr(2))
+			} else {
+				fmt.Fprintf(&b, "%s = %s;\n", scalars[r.Intn(len(scalars))], expr(2))
+			}
+		case k == 3 && depth > 0: // if
+			fmt.Fprintf(&b, "if (%s) {\n", cond())
+			stmt(depth - 1)
+			if r.Intn(2) == 0 {
+				b.WriteString("} else {\n")
+				stmt(depth - 1)
+			}
+			b.WriteString("}\n")
+		case k == 4 && depth > 0: // bounded for loop
+			fmt.Fprintf(&b, "for (i = 0; i < %d; i = i + 1) {\n", 2+r.Intn(6))
+			stmt(0) // straight-line body keeps the loop single-block
+			b.WriteString("}\n")
+		default:
+			fmt.Fprintf(&b, "%s = %s;\n", scalars[r.Intn(len(scalars))], expr(1))
+		}
+	}
+	for s := 0; s < nStmts; s++ {
+		stmt(1)
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/deps"
+	"aisched/internal/minic"
+)
+
+func TestRandomProgramAlwaysCompiles(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := RandomProgram(r, 2+r.Intn(6))
+		if _, err := minic.Compile(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestPropertyRandomProgramTraceGraphsAreSane(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := RandomProgram(r, 3)
+		comp, err := minic.Compile(src)
+		if err != nil {
+			return false
+		}
+		g := deps.BuildTrace(comp.TraceBlocks())
+		return g.IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	a := RandomProgram(rand.New(rand.NewSource(11)), 5)
+	b := RandomProgram(rand.New(rand.NewSource(11)), 5)
+	if a != b {
+		t.Fatal("RandomProgram not deterministic for equal seeds")
+	}
+}

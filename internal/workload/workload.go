@@ -1,0 +1,303 @@
+// Package workload generates the synthetic scheduling instances used by the
+// experiment harness (EXPERIMENTS.md T1–T5): random basic blocks, traces,
+// and loops with controlled size, dependence density, and latency mix. The
+// paper evaluates on worked examples and defers an empirical comparison to
+// future work; these generators provide the missing workload population,
+// with parameters chosen to span the regimes where anticipatory scheduling
+// matters (blocks ending in idle slots, cross-block latency chains,
+// loop-carried recurrences).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aisched/internal/graph"
+)
+
+// LatencyModel selects the edge-latency distribution.
+type LatencyModel int
+
+// Latency models.
+const (
+	// ZeroOne draws latencies uniformly from {0, 1} — the paper's restricted
+	// model.
+	ZeroOne LatencyModel = iota
+	// Mixed draws from {0, 1, 1, 2, 4} — loads/compares/multiplies as in the
+	// paper's Figure 3 latencies.
+	Mixed
+)
+
+func (lm LatencyModel) draw(r *rand.Rand) int {
+	switch lm {
+	case ZeroOne:
+		return r.Intn(2)
+	default:
+		choices := []int{0, 1, 1, 2, 4}
+		return choices[r.Intn(len(choices))]
+	}
+}
+
+func (lm LatencyModel) String() string {
+	if lm == ZeroOne {
+		return "0/1"
+	}
+	return "mixed"
+}
+
+// TraceConfig parameterizes random trace generation.
+type TraceConfig struct {
+	Blocks    int     // number of basic blocks
+	MinSize   int     // minimum instructions per block
+	MaxSize   int     // maximum instructions per block
+	IntraProb float64 // intra-block edge probability
+	CrossProb float64 // adjacent-block edge probability
+	Latency   LatencyModel
+	// Classes > 1 assigns unit classes round-robin-with-noise for
+	// multi-functional-unit experiments (class 0 dominant).
+	Classes int
+	// MaxExec > 1 draws execution times in [1, MaxExec] for non-unit-time
+	// experiments.
+	MaxExec int
+}
+
+// DefaultTrace returns the T1 configuration: small blocks with the paper's
+// Figure 3 latency mix. Small latency-bound blocks are the regime where
+// anticipatory scheduling matters — their optimal schedules end in idle
+// slots that the hardware window can fill from the next block. Large dense
+// blocks are resource-bound (no idle slots) and all schedulers converge;
+// see DenseTrace.
+func DefaultTrace() TraceConfig {
+	return TraceConfig{
+		Blocks: 6, MinSize: 3, MaxSize: 8,
+		IntraProb: 0.4, CrossProb: 0.15,
+		Latency: Mixed, Classes: 1, MaxExec: 1,
+	}
+}
+
+// DenseTrace returns a resource-bound configuration (big dense blocks, 0/1
+// latencies): the control condition in which anticipatory and local
+// scheduling tie because block schedules have no trailing idle slots.
+func DenseTrace() TraceConfig {
+	return TraceConfig{
+		Blocks: 6, MinSize: 6, MaxSize: 16,
+		IntraProb: 0.25, CrossProb: 0.08,
+		Latency: ZeroOne, Classes: 1, MaxExec: 1,
+	}
+}
+
+// Trace generates a random trace dependence graph. Edges always point from
+// lower to higher IDs, intra-block with IntraProb and between adjacent
+// blocks with CrossProb. Block sizes are uniform in [MinSize, MaxSize].
+func Trace(r *rand.Rand, cfg TraceConfig) (*graph.Graph, error) {
+	if cfg.Blocks < 1 || cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
+		return nil, fmt.Errorf("workload: bad trace config %+v", cfg)
+	}
+	if cfg.Classes < 1 {
+		cfg.Classes = 1
+	}
+	if cfg.MaxExec < 1 {
+		cfg.MaxExec = 1
+	}
+	g := graph.New(cfg.Blocks * cfg.MaxSize)
+	var blockNodes [][]graph.NodeID
+	for b := 0; b < cfg.Blocks; b++ {
+		size := cfg.MinSize + r.Intn(cfg.MaxSize-cfg.MinSize+1)
+		ids := make([]graph.NodeID, 0, size)
+		for i := 0; i < size; i++ {
+			exec := 1
+			if cfg.MaxExec > 1 {
+				exec = 1 + r.Intn(cfg.MaxExec)
+			}
+			class := 0
+			if cfg.Classes > 1 && r.Float64() < 0.3 {
+				class = 1 + r.Intn(cfg.Classes-1)
+			}
+			ids = append(ids, g.AddNode(fmt.Sprintf("b%d.%d", b, i), exec, class, b))
+		}
+		blockNodes = append(blockNodes, ids)
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		ids := blockNodes[b]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if r.Float64() < cfg.IntraProb {
+					g.MustEdge(ids[i], ids[j], cfg.Latency.draw(r), 0)
+				}
+			}
+			if b+1 < cfg.Blocks {
+				for _, d := range blockNodes[b+1] {
+					if r.Float64() < cfg.CrossProb {
+						g.MustEdge(ids[i], d, cfg.Latency.draw(r), 0)
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// LoopConfig parameterizes random single-block loop generation.
+type LoopConfig struct {
+	Size      int     // instructions in the body
+	IntraProb float64 // intra-iteration edge probability
+	Carried   int     // number of loop-carried edges
+	Latency   LatencyModel
+	// CarriedLatencyBoost adds this to carried-edge latencies (recurrences
+	// are what anticipatory loop scheduling hides).
+	CarriedLatencyBoost int
+}
+
+// DefaultLoop returns the T3 configuration: small bodies with long carried
+// latencies (Figure 3's regime — a recurrence the body order can hide or
+// expose).
+func DefaultLoop() LoopConfig {
+	return LoopConfig{Size: 6, IntraProb: 0.25, Carried: 2, Latency: Mixed, CarriedLatencyBoost: 4}
+}
+
+// Loop generates a random single-block loop graph with distance-1 carried
+// edges (plus a final node acting as the back branch with carried control
+// edges, mirroring deps.BuildLoop's shape).
+func Loop(r *rand.Rand, cfg LoopConfig) (*graph.Graph, error) {
+	if cfg.Size < 2 {
+		return nil, fmt.Errorf("workload: loop size %d < 2", cfg.Size)
+	}
+	g := graph.New(cfg.Size)
+	for i := 0; i < cfg.Size; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 1, 0, 0)
+	}
+	br := graph.NodeID(cfg.Size - 1) // the back branch
+	for i := 0; i < cfg.Size-1; i++ {
+		for j := i + 1; j < cfg.Size-1; j++ {
+			if r.Float64() < cfg.IntraProb {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), cfg.Latency.draw(r), 0)
+			}
+		}
+		// Control dependence into the branch.
+		g.MustEdge(graph.NodeID(i), br, 0, 0)
+	}
+	for k := 0; k < cfg.Carried; k++ {
+		u := graph.NodeID(r.Intn(cfg.Size - 1))
+		v := graph.NodeID(r.Intn(cfg.Size - 1))
+		g.MustEdge(u, v, cfg.Latency.draw(r)+cfg.CarriedLatencyBoost, 1)
+	}
+	// Carried control: next iteration follows the branch.
+	for i := 0; i < cfg.Size; i++ {
+		g.MustEdge(br, graph.NodeID(i), 0, 1)
+	}
+	return g, nil
+}
+
+// LoopTraceConfig parameterizes multi-block loop bodies (§5.1's regime).
+type LoopTraceConfig struct {
+	Blocks    int     // basic blocks in the body (≥ 2)
+	Size      int     // instructions per block
+	IntraProb float64 // intra-block edge probability
+	CrossProb float64 // adjacent-block edge probability
+	Carried   int     // loop-carried edges from late blocks into block 0
+	Latency   LatencyModel
+	// CarriedLatencyBoost is added to carried-edge latencies.
+	CarriedLatencyBoost int
+}
+
+// DefaultLoopTrace returns the T3b configuration.
+func DefaultLoopTrace() LoopTraceConfig {
+	return LoopTraceConfig{
+		Blocks: 3, Size: 4, IntraProb: 0.3, CrossProb: 0.15,
+		Carried: 2, Latency: Mixed, CarriedLatencyBoost: 3,
+	}
+}
+
+// LoopTrace generates a loop whose body is a trace of several basic blocks:
+// forward distance-0 edges inside and between adjacent blocks, plus
+// distance-1 carried edges from instructions in the last block into the
+// first block (the recurrence the §5.1 algorithm anticipates), and a
+// carried control edge from the final instruction (the back branch) to
+// every instruction.
+func LoopTrace(r *rand.Rand, cfg LoopTraceConfig) (*graph.Graph, error) {
+	if cfg.Blocks < 2 || cfg.Size < 1 {
+		return nil, fmt.Errorf("workload: bad loop-trace config %+v", cfg)
+	}
+	g := graph.New(cfg.Blocks * cfg.Size)
+	var blockNodes [][]graph.NodeID
+	for b := 0; b < cfg.Blocks; b++ {
+		var ids []graph.NodeID
+		for i := 0; i < cfg.Size; i++ {
+			ids = append(ids, g.AddNode(fmt.Sprintf("b%d.%d", b, i), 1, 0, b))
+		}
+		blockNodes = append(blockNodes, ids)
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		ids := blockNodes[b]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if r.Float64() < cfg.IntraProb {
+					g.MustEdge(ids[i], ids[j], cfg.Latency.draw(r), 0)
+				}
+			}
+			if b+1 < cfg.Blocks {
+				for _, d := range blockNodes[b+1] {
+					if r.Float64() < cfg.CrossProb {
+						g.MustEdge(ids[i], d, cfg.Latency.draw(r), 0)
+					}
+				}
+			}
+		}
+	}
+	last := blockNodes[cfg.Blocks-1]
+	first := blockNodes[0]
+	for k := 0; k < cfg.Carried; k++ {
+		u := last[r.Intn(len(last))]
+		v := first[r.Intn(len(first))]
+		g.MustEdge(u, v, cfg.Latency.draw(r)+cfg.CarriedLatencyBoost, 1)
+	}
+	br := last[len(last)-1]
+	for v := 0; v < g.Len(); v++ {
+		g.MustEdge(br, graph.NodeID(v), 0, 1)
+	}
+	return g, nil
+}
+
+// ExpressionTree generates a basic block shaped like an expression
+// evaluation: a binary reduction tree with leaf loads (latency 1) and inner
+// arithmetic, the workload shape of Hennessy & Gross / Gibbons & Muchnick
+// style pipeline-scheduling studies.
+func ExpressionTree(r *rand.Rand, leaves int, block int) (*graph.Graph, error) {
+	if leaves < 2 {
+		return nil, fmt.Errorf("workload: expression tree needs ≥ 2 leaves")
+	}
+	g := graph.New(2*leaves - 1)
+	level := make([]graph.NodeID, 0, leaves)
+	for i := 0; i < leaves; i++ {
+		level = append(level, g.AddNode(fmt.Sprintf("ld%d", i), 1, 0, block))
+	}
+	loadLat := 1
+	cnt := 0
+	for len(level) > 1 {
+		var nxt []graph.NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			op := g.AddNode(fmt.Sprintf("op%d", cnt), 1, 0, block)
+			cnt++
+			lat := 0
+			if cnt == 1 || r.Intn(3) == 0 {
+				lat = 1 // occasional multi-cycle producer in the tree
+			}
+			_ = lat
+			l1, l2 := loadLat, loadLat
+			if int(level[i]) >= leaves {
+				l1 = 0
+			}
+			if int(level[i+1]) >= leaves {
+				l2 = 0
+			}
+			g.MustEdge(level[i], op, l1, 0)
+			g.MustEdge(level[i+1], op, l2, 0)
+			nxt = append(nxt, op)
+		}
+		if len(level)%2 == 1 {
+			nxt = append(nxt, level[len(level)-1])
+		}
+		level = nxt
+	}
+	return g, nil
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aisched/internal/graph"
+)
+
+func TestTraceConfigValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	bad := []TraceConfig{
+		{Blocks: 0, MinSize: 1, MaxSize: 2},
+		{Blocks: 1, MinSize: 0, MaxSize: 2},
+		{Blocks: 1, MinSize: 3, MaxSize: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := Trace(r, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	cfg := DefaultTrace()
+	g, err := Trace(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("trace graph cyclic")
+	}
+	// Blocks numbered 0..Blocks-1 and nondecreasing with node ID.
+	last := 0
+	for v := 0; v < g.Len(); v++ {
+		b := g.Node(graph.NodeID(v)).Block
+		if b < last || b >= cfg.Blocks {
+			t.Fatalf("block %d out of order at node %d", b, v)
+		}
+		last = b
+	}
+	// Edges never skip more than one block and never point backward.
+	for _, e := range g.Edges() {
+		bs := g.Node(e.Src).Block
+		bd := g.Node(e.Dst).Block
+		if bd < bs || bd > bs+1 {
+			t.Fatalf("edge %v spans blocks %d→%d", e, bs, bd)
+		}
+	}
+}
+
+func TestTraceClassesAndExec(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cfg := DefaultTrace()
+	cfg.Classes = 3
+	cfg.MaxExec = 4
+	g, err := Trace(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawClass, sawExec := false, false
+	for v := 0; v < g.Len(); v++ {
+		if g.Node(graph.NodeID(v)).Class > 0 {
+			sawClass = true
+		}
+		if g.Node(graph.NodeID(v)).Exec > 1 {
+			sawExec = true
+		}
+	}
+	if !sawClass || !sawExec {
+		t.Fatalf("classes=%v exec=%v not exercised", sawClass, sawExec)
+	}
+}
+
+func TestLoopShape(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g, err := Loop(r, DefaultLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("loop-independent subgraph cyclic")
+	}
+	if !g.HasLoopCarried() {
+		t.Fatal("loop has no carried edges")
+	}
+	// The branch is the last node and a carried-control source.
+	br := graph.NodeID(g.Len() - 1)
+	carried := 0
+	for _, e := range g.Out(br) {
+		if e.Distance == 1 {
+			carried++
+		}
+	}
+	if carried != g.Len() {
+		t.Fatalf("branch has %d carried control edges, want %d", carried, g.Len())
+	}
+}
+
+func TestLoopRejectsTiny(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Loop(r, LoopConfig{Size: 1}); err == nil {
+		t.Fatal("size-1 loop accepted")
+	}
+}
+
+func TestExpressionTree(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g, err := ExpressionTree(r, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 15 {
+		t.Fatalf("tree nodes = %d, want 15", g.Len())
+	}
+	if len(g.Sinks()) != 1 {
+		t.Fatalf("tree sinks = %v, want single root", g.Sinks())
+	}
+	if len(g.Sources()) != 8 {
+		t.Fatalf("tree sources = %d, want 8 leaves", len(g.Sources()))
+	}
+	if _, err := ExpressionTree(r, 1, 0); err == nil {
+		t.Fatal("1-leaf tree accepted")
+	}
+}
+
+func TestPropertyGeneratorsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, err1 := Trace(rand.New(rand.NewSource(seed)), DefaultTrace())
+		g2, err2 := Trace(rand.New(rand.NewSource(seed)), DefaultTrace())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if g1.Len() != g2.Len() || g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		e1, e2 := g1.Edges(), g2.Edges()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopTraceShape(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := DefaultLoopTrace()
+	g, err := LoopTrace(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("loop-independent subgraph cyclic")
+	}
+	if !g.HasLoopCarried() {
+		t.Fatal("no carried edges")
+	}
+	// Blocks nondecreasing; cross edges only to the adjacent block (plus
+	// carried edges backward).
+	for _, e := range g.Edges() {
+		bs, bd := g.Node(e.Src).Block, g.Node(e.Dst).Block
+		if e.Distance == 0 && (bd < bs || bd > bs+1) {
+			t.Fatalf("distance-0 edge spans blocks %d→%d", bs, bd)
+		}
+	}
+	// The back branch is the last node with carried control to everything.
+	br := graph.NodeID(g.Len() - 1)
+	carried := 0
+	for _, e := range g.Out(br) {
+		if e.Distance == 1 {
+			carried++
+		}
+	}
+	if carried != g.Len() {
+		t.Fatalf("back branch has %d carried edges, want %d", carried, g.Len())
+	}
+}
+
+func TestLoopTraceRejectsBadConfig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := LoopTrace(r, LoopTraceConfig{Blocks: 1, Size: 3}); err == nil {
+		t.Fatal("single-block loop-trace accepted")
+	}
+	if _, err := LoopTrace(r, LoopTraceConfig{Blocks: 2, Size: 0}); err == nil {
+		t.Fatal("zero-size blocks accepted")
+	}
+}

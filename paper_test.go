@@ -1,0 +1,191 @@
+package aisched_test
+
+// paper_test.go is an executable walkthrough of Sarkar & Simons (SPAA '96)
+// §2, "Examples": every number the paper prints along the way is asserted
+// in the order the narrative introduces it. Read it top to bottom alongside
+// the paper.
+
+import (
+	"testing"
+
+	"aisched/internal/core"
+	"aisched/internal/graph"
+	"aisched/internal/hw"
+	"aisched/internal/idle"
+	"aisched/internal/loops"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+func TestPaperWalkthrough(t *testing.T) {
+	// ------------------------------------------------------------------
+	// §2.1 — The Rank Algorithm on basic block BB1 (Figure 1).
+	//
+	// "Each node is given an artificial deadline of 100. ... instructions a
+	// and r must complete no later than 100, and instructions w and b must
+	// complete no later than 98. ... The rank computations yield rank(x) =
+	// rank(e) = 95."
+	// ------------------------------------------------------------------
+	f1 := paperex.NewFig1()
+	m := machine.SingleUnit(2)
+	ranks, err := rank.Compute(f1.G, m, rank.UniformDeadlines(f1.G.Len(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "rank(a)", 100, ranks[f1.A])
+	assertEq(t, "rank(r)", 100, ranks[f1.R])
+	assertEq(t, "rank(w)", 98, ranks[f1.W])
+	assertEq(t, "rank(b)", 98, ranks[f1.B])
+	assertEq(t, "rank(x)", 95, ranks[f1.X])
+	assertEq(t, "rank(e)", 95, ranks[f1.E])
+
+	// "Suppose the ordering we choose is: e, x, b, w, a, r. The greedy
+	// algorithm will then use this ordering to obtain the schedule shown in
+	// the middle of Figure 1" — makespan 7 with an idle slot at time 2.
+	res1, err := rank.Run(f1.G, m, rank.UniformDeadlines(f1.G.Len(), 100), f1.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "BB1 makespan", 7, res1.S.Makespan())
+	slots := res1.S.IdleSlots()
+	if len(slots) != 1 {
+		t.Fatalf("BB1 idle slots = %v, want one", slots)
+	}
+	assertEq(t, "BB1 idle slot", 2, slots[0])
+
+	// ------------------------------------------------------------------
+	// §2.2 — Moving the idle slot as late as possible.
+	//
+	// "if we reduce the deadlines and ranks of all the nodes of the basic
+	// block by 100 − 7 = 93 ... the idle slot could be moved to a later time
+	// only if x is started earlier. So we set its deadline d(x) = 1. The new
+	// schedule ... also has a makespan of 7, but the idle slot occurs at a
+	// later time."
+	// ------------------------------------------------------------------
+	d := rank.Rebase(rank.UniformDeadlines(f1.G.Len(), 100), 93)
+	moved, err := idle.MoveIdleSlot(res1.S, m, d, 0, 2, f1.PaperTie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved.Moved {
+		t.Fatal("§2.2: the idle slot did not move")
+	}
+	assertEq(t, "moved idle slot", 5, moved.NewStart)
+	assertEq(t, "makespan after move", 7, moved.S.Makespan())
+	assertEq(t, "committed d(x)", 1, moved.D[f1.X])
+
+	// ------------------------------------------------------------------
+	// §2.3 — Anticipatory scheduling for two basic blocks (Figure 2).
+	//
+	// "Now suppose there is a latency 1 edge from instruction w in BB1 to
+	// instruction z in BB2 ... The rank computation gives the following
+	// values: rank(g) = rank(v) = rank(a) = rank(r) = 100, rank(p) = rank(b)
+	// = 98, rank(q) = 97, rank(z) = 95, rank(w) = 93, rank(e) = 91,
+	// rank(x) = 90."
+	// ------------------------------------------------------------------
+	f2 := paperex.NewFig2()
+	ranks2, err := rank.Compute(f2.G, m, rank.UniformDeadlines(f2.G.Len(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		id   graph.NodeID
+		want int
+	}{
+		{"rank(g)", f2.Gn, 100}, {"rank(v)", f2.V, 100}, {"rank(a)", f2.A, 100},
+		{"rank(r)", f2.R, 100}, {"rank(p)", f2.P, 98}, {"rank(b)", f2.B, 98},
+		{"rank(q)", f2.Q, 97}, {"rank(z)", f2.Z, 95}, {"rank(w)", f2.W, 93},
+		{"rank(e)", f2.E, 91}, {"rank(x)", f2.X, 90},
+	} {
+		assertEq(t, "§2.3 "+c.name, c.want, ranks2[c.id])
+	}
+
+	// "after first determining a lower bound on the completion time of a
+	// legal schedule for BB1 ∪ BB2, which in this case is 11" — and
+	// Algorithm Lookahead achieves it with a schedule that is legal for
+	// W = 2 (window + ordering constraints).
+	la, err := core.Lookahead(f2.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "trace makespan", 11, la.Makespan())
+	if err := sched.CheckLegal(la.S, 2); err != nil {
+		t.Fatalf("§2.3 legality: %v", err)
+	}
+	sim, err := hw.SimulateTrace(f2.G, m, la.StaticOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "simulated completion on W=2 hardware", 11, sim.Completion)
+
+	// ------------------------------------------------------------------
+	// §2.4 — The partial-products loop (Figure 3).
+	//
+	// "The first is an optimal schedule for the basic block ... a completion
+	// time of 5 cycles ... However, in steady-state this schedule executes
+	// one iteration every 7 cycles. ... the second schedule has a completion
+	// time of 6 cycles for a single iteration, but it also executes one
+	// iteration every 6 cycles in steady-state."
+	// ------------------------------------------------------------------
+	f3 := paperex.NewFig3()
+	m4 := machine.SingleUnit(4)
+	s1, err := loops.Evaluate(f3.G, m4, f3.Schedule1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "schedule1 single iteration", 5, s1.Makespan)
+	assertEq(t, "schedule1 steady state", 7, s1.II)
+	s2, err := loops.Evaluate(f3.G, m4, f3.Schedule2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "schedule2 single iteration", 6, s2.Makespan)
+	assertEq(t, "schedule2 steady state", 6, s2.II)
+
+	// "In general, a schedule which is optimal for a single basic block can
+	// be suboptimal in steady-state" — the §5.2.3 general case picks
+	// schedule 2 ("Schedule 2 ... is obtained when the MULTIPLY instruction
+	// is selected as a candidate for the source node").
+	best, err := loops.ScheduleSingleBlockLoop(f3.G, m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "general-case II", 6, best.II)
+
+	// ------------------------------------------------------------------
+	// §5.2.2/Figure 8 — duality and the counter-example.
+	//
+	// "The equivalent acyclic graph is completely symmetric with respect to
+	// nodes 1 and 2, but it is clear that node 2 should be scheduled first
+	// to hide the latency of the loop-carried dependence (see schedules S1
+	// and S2 ...)" — S1 completes n iterations in 5n−1 cycles, S2 in 4n.
+	// ------------------------------------------------------------------
+	f8 := paperex.NewFig8()
+	s81, err := loops.Evaluate(f8.G, m4, f8.S1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s82, err := loops.Evaluate(f8.G, m4, f8.S2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, "S1 completion(10)", 49, s81.CompletionN(10))
+	assertEq(t, "S2 completion(10)", 40, s82.CompletionN(10))
+	snk, err := loops.SingleSinkOrder(f8.G, m4, f8.N3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snk[0] != f8.N2 {
+		t.Fatalf("single-sink transform should schedule node 2 first, got %v", snk)
+	}
+}
+
+func assertEq(t *testing.T, what string, want, got int) {
+	t.Helper()
+	if want != got {
+		t.Fatalf("%s = %d, paper says %d", what, got, want)
+	}
+}
