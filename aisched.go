@@ -46,6 +46,7 @@ import (
 	"aisched/internal/loops"
 	"aisched/internal/machine"
 	"aisched/internal/minic"
+	"aisched/internal/obs"
 	"aisched/internal/rank"
 	"aisched/internal/regren"
 	"aisched/internal/sched"
@@ -83,9 +84,82 @@ type (
 	CompiledC = minic.Compiled
 	// SimResult reports one hardware simulation.
 	SimResult = hw.Result
-	// SimOptions tunes the hardware simulation (speculation, misprediction).
+	// SimOptions tunes the hardware simulation (speculation, misprediction,
+	// optional cycle-level tracing via the Tracer field).
 	SimOptions = hw.Options
+	// Tracer receives structured observability events from the scheduler
+	// passes and the hardware simulator. Use NewRecorder for the standard
+	// in-memory implementation.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured observability event.
+	TraceEvent = obs.Event
+	// TraceRecorder collects trace events and renders them as a Stats
+	// snapshot, Chrome trace-event JSON (Perfetto-loadable), or a plain-text
+	// pipeline timeline.
+	TraceRecorder = obs.Recorder
+	// Stats is the metrics-registry snapshot: stall-cycle breakdown by
+	// reason, window-occupancy distribution, idle-slot fills split into
+	// same-block vs cross-block (the paper's headline effect), rollback and
+	// scheduler-pass counters. Marshals to stable JSON.
+	Stats = obs.Stats
 )
+
+// NewRecorder returns an empty trace recorder; install it with WithTracer or
+// on SimOptions.Tracer.
+func NewRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// Observer binds a Tracer to the scheduling and simulation entry points, so
+// one run can be observed end to end: pass decisions (merge, idle-slot
+// delays, chop, II candidates) and per-cycle hardware behaviour (issues,
+// stall reasons, window occupancy, rollbacks).
+//
+//	rec := aisched.NewRecorder()
+//	o := aisched.WithTracer(rec)
+//	res, _ := o.ScheduleTrace(g, m)
+//	o.SimulateTrace(g, m, res.StaticOrder())
+//	stats := rec.Stats()
+type Observer struct {
+	tr Tracer
+}
+
+// WithTracer returns an Observer whose operations emit events to t. A nil t
+// yields an Observer with tracing disabled (zero overhead).
+func WithTracer(t Tracer) *Observer { return &Observer{tr: t} }
+
+// ScheduleBlock is the traced equivalent of the package-level ScheduleBlock.
+func (o *Observer) ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
+	s, err := rank.MakespanT(g, m, o.tr)
+	if err != nil {
+		return nil, err
+	}
+	d := rank.UniformDeadlines(g.Len(), s.Makespan())
+	s, _, err = idle.DelayIdleSlotsT(s, m, d, nil, o.tr)
+	return s, err
+}
+
+// ScheduleTrace is the traced equivalent of the package-level ScheduleTrace.
+func (o *Observer) ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
+	return core.LookaheadOpts(g, m, core.Options{Tracer: o.tr})
+}
+
+// ScheduleLoop is the traced equivalent of the package-level ScheduleLoop.
+func (o *Observer) ScheduleLoop(g *Graph, m *Machine) (*LoopSteady, error) {
+	return loops.ScheduleLoopT(g, m, o.tr)
+}
+
+// SimulateTrace is the traced equivalent of the package-level SimulateTrace:
+// the simulator emits per-cycle issue, stall-reason, window-occupancy and
+// rollback events.
+func (o *Observer) SimulateTrace(g *Graph, m *Machine, order []NodeID) (*SimResult, error) {
+	return hw.SimulateLoop(g, m, order, 1, SimOptions{Speculate: true, Tracer: o.tr})
+}
+
+// SimulateLoop is the traced equivalent of the package-level SimulateLoop;
+// any Tracer already set on opt is replaced by the Observer's.
+func (o *Observer) SimulateLoop(g *Graph, m *Machine, order []NodeID, iters int, opt SimOptions) (*SimResult, error) {
+	opt.Tracer = o.tr
+	return hw.SimulateLoop(g, m, order, iters, opt)
+}
 
 // NewGraph returns an empty dependence graph with capacity for n nodes.
 func NewGraph(n int) *Graph { return graph.New(n) }

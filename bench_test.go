@@ -399,6 +399,81 @@ func BenchmarkV1Interpreter(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleTrace: the facade trace-scheduling path with tracing
+// disabled — the zero-overhead baseline snapshotted in BENCH_PR1.json.
+func BenchmarkScheduleTrace(b *testing.B) {
+	g := benchTrace(b, 11)
+	m := machine.SingleUnit(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleTrace(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateTrace: the facade window simulation of a scheduled trace
+// with tracing disabled (BENCH_PR1.json baseline).
+func BenchmarkSimulateTrace(b *testing.B) {
+	g := benchTrace(b, 11)
+	m := machine.SingleUnit(4)
+	res, err := ScheduleTrace(g, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := res.StaticOrder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateTrace(g, m, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleLoop: the facade §5.2 loop scheduler on the Figure 3 loop
+// with tracing disabled (BENCH_PR1.json baseline).
+func BenchmarkScheduleLoop(b *testing.B) {
+	f := paperex.NewFig3()
+	m := machine.SingleUnit(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleLoop(f.G, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingOverhead quantifies the cost of an attached recorder on
+// the window simulator — the nil-tracer path is the one the ≤2% regression
+// budget protects.
+func BenchmarkTracingOverhead(b *testing.B) {
+	g := benchTrace(b, 11)
+	m := machine.SingleUnit(4)
+	res, err := ScheduleTrace(g, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := res.StaticOrder()
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SimulateTrace(g, m, order); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := NewRecorder()
+			if _, err := WithTracer(rec).SimulateTrace(g, m, order); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCompiler: mini-C compile throughput on a generated program.
 func BenchmarkCompiler(b *testing.B) {
 	r := rand.New(rand.NewSource(61))

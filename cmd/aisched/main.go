@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	aisched [-mode trace|loop] [-w window] [-machine single|rs6000|wide2] [-iters n] file.s
+//	aisched [-mode trace|loop] [-w window] [-machine single|rs6000|wide2] [-iters n]
+//	        [-trace out.json] [-stats] [-timeline] file.s
 //
 // With no file, the paper's Figure 3 partial-products loop is used.
 //
@@ -14,6 +15,15 @@
 //	trace — treat the file's blocks as a trace; run Algorithm Lookahead.
 //	loop  — treat the first block as a single-block loop body; run the §5.2
 //	        general-case loop scheduler and report steady-state cycles/iter.
+//
+// Observability:
+//
+//	-trace out.json — write a Chrome trace-event JSON of the scheduler passes
+//	                  and the cycle-level window simulation; load it in
+//	                  Perfetto (ui.perfetto.dev) or chrome://tracing.
+//	-stats          — print the metrics snapshot (stall breakdown, window
+//	                  occupancy, idle-slot fills, ...) as JSON.
+//	-timeline       — print a plain-text per-unit pipeline timeline.
 package main
 
 import (
@@ -41,13 +51,21 @@ CL.18:
 
 func main() {
 	var (
-		mode   = flag.String("mode", "loop", "trace or loop")
-		w      = flag.Int("w", 4, "lookahead window size W")
-		mdl    = flag.String("machine", "single", "single, rs6000, or wide2")
-		iters  = flag.Int("iters", 20, "loop iterations to simulate")
-		unroll = flag.Int("unroll", 1, "loop unroll factor (loop mode)")
+		mode     = flag.String("mode", "loop", "trace or loop")
+		w        = flag.Int("w", 4, "lookahead window size W")
+		mdl      = flag.String("machine", "single", "single, rs6000, or wide2")
+		iters    = flag.Int("iters", 20, "loop iterations to simulate")
+		unroll   = flag.Int("unroll", 1, "loop unroll factor (loop mode)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this file")
+		stats    = flag.Bool("stats", false, "print the observability metrics snapshot as JSON")
+		timeline = flag.Bool("timeline", false, "print a plain-text pipeline timeline")
 	)
 	flag.Parse()
+
+	var rec *aisched.TraceRecorder
+	if *traceOut != "" || *stats || *timeline {
+		rec = aisched.NewRecorder()
+	}
 
 	src := fig3Asm
 	if flag.NArg() > 0 {
@@ -80,15 +98,50 @@ func main() {
 
 	switch *mode {
 	case "loop":
-		runLoop(blocks[0], m, *iters, *unroll)
+		runLoop(blocks[0], m, *iters, *unroll, rec)
 	case "trace":
-		runTrace(blocks, m)
+		runTrace(blocks, m, rec)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+
+	if rec != nil {
+		reportObs(rec, *traceOut, *stats, *timeline)
+	}
 }
 
-func runLoop(b isa.Block, m *machine.Machine, iters, unroll int) {
+// reportObs renders whatever the recorder captured: a text timeline and/or a
+// JSON stats snapshot on stdout, and/or a Chrome trace-event file on disk.
+func reportObs(rec *aisched.TraceRecorder, traceOut string, stats, timeline bool) {
+	if timeline {
+		fmt.Println("\npipeline timeline:")
+		fmt.Print(rec.Timeline())
+	}
+	if stats {
+		data, err := rec.Stats().JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nstats:\n%s\n", data)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d events) to %s — load in ui.perfetto.dev or chrome://tracing\n",
+			rec.Len(), traceOut)
+	}
+}
+
+func runLoop(b isa.Block, m *machine.Machine, iters, unroll int, rec *aisched.TraceRecorder) {
 	g := aisched.BuildLoopGraph(b.Instrs)
 	t := tables.New(fmt.Sprintf("loop %s: steady-state comparison", b.Label),
 		"scheduler", "cycles/iter (periodic)", "completion of n="+fmt.Sprint(iters))
@@ -98,7 +151,7 @@ func runLoop(b isa.Block, m *machine.Machine, iters, unroll int) {
 		fatal(err)
 	}
 	t.Add("program order", prog.II, prog.CompletionN(iters))
-	best, err := aisched.ScheduleLoop(g, m)
+	best, err := observer(rec).ScheduleLoop(g, m)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +168,13 @@ func runLoop(b isa.Block, m *machine.Machine, iters, unroll int) {
 		fatal(err)
 	}
 	fmt.Printf("\ndynamic steady state on window hardware: %.2f cycles/iter\n", dyn)
+	if rec != nil {
+		// Capture the cycle-level events of the full n-iteration run.
+		if _, err := observer(rec).SimulateLoop(g, m, best.Order, iters,
+			aisched.SimOptions{Speculate: true}); err != nil {
+			fatal(err)
+		}
+	}
 
 	if unroll > 1 {
 		u, err := aisched.UnrollLoop(g, m, unroll)
@@ -125,17 +185,17 @@ func runLoop(b isa.Block, m *machine.Machine, iters, unroll int) {
 	}
 }
 
-func runTrace(blocks []isa.Block, m *machine.Machine) {
+func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder) {
 	var seqs [][]isa.Instr
 	for _, b := range blocks {
 		seqs = append(seqs, b.Instrs)
 	}
 	g := aisched.BuildTraceGraph(seqs)
-	res, err := aisched.ScheduleTrace(g, m)
+	res, err := observer(rec).ScheduleTrace(g, m)
 	if err != nil {
 		fatal(err)
 	}
-	sim, err := aisched.SimulateTrace(g, m, res.StaticOrder())
+	sim, err := observer(rec).SimulateTrace(g, m, res.StaticOrder())
 	if err != nil {
 		fatal(err)
 	}
@@ -160,6 +220,15 @@ func runTrace(blocks []isa.Block, m *machine.Machine) {
 	}
 	fmt.Println("anticipatory static code:")
 	fmt.Print(out)
+}
+
+// observer wraps the recorder in an aisched.Observer, taking care not to
+// smuggle a typed nil into the Tracer interface when recording is off.
+func observer(rec *aisched.TraceRecorder) *aisched.Observer {
+	if rec == nil {
+		return aisched.WithTracer(nil)
+	}
+	return aisched.WithTracer(rec)
 }
 
 func sourceOrder(g *graph.Graph) []graph.NodeID {

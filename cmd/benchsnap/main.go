@@ -1,0 +1,115 @@
+// Command benchsnap records a benchmark snapshot for the three facade-level
+// workloads the PR-to-PR regression budget is measured against
+// (ScheduleTrace, SimulateTrace, ScheduleLoop — all with tracing disabled)
+// and writes it as JSON. Compare a later run against the committed snapshot
+// with a ≤2% tolerance:
+//
+//	go run ./cmd/benchsnap -o BENCH_PR1.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"aisched"
+	"aisched/internal/machine"
+	"aisched/internal/paperex"
+	"aisched/internal/workload"
+)
+
+type entry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR1.json", "output file")
+	flag.Parse()
+
+	// The same workloads as BenchmarkScheduleTrace / BenchmarkSimulateTrace /
+	// BenchmarkScheduleLoop in bench_test.go: a seed-11 random trace and the
+	// paper's Figure 3 loop, on the single-unit W=4 machine.
+	g, err := workload.Trace(rand.New(rand.NewSource(11)), workload.DefaultTrace())
+	if err != nil {
+		fatal(err)
+	}
+	m := machine.SingleUnit(4)
+	res, err := aisched.ScheduleTrace(g, m)
+	if err != nil {
+		fatal(err)
+	}
+	order := res.StaticOrder()
+	f3 := paperex.NewFig3()
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ScheduleTrace", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := aisched.ScheduleTrace(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SimulateTrace", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := aisched.SimulateTrace(g, m, order); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ScheduleLoop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := aisched.ScheduleLoop(f3.G, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	snap := struct {
+		Go         string           `json:"go"`
+		GOOS       string           `json:"goos"`
+		GOARCH     string           `json:"goarch"`
+		Benchmarks map[string]entry `json:"benchmarks"`
+	}{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]entry{},
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bench.fn(b)
+		})
+		snap.Benchmarks[bench.name] = entry{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-14s %10d ns/op %8d B/op %6d allocs/op\n",
+			bench.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -51,6 +51,7 @@ func main() {
 		{"T7", def(experiments.T7, 30)},
 		{"A1", def(experiments.A1, 30)},
 		{"A2", def(experiments.A2, 20)},
+		{"O1", experiments.O1},
 	}
 
 	want := map[string]bool{}

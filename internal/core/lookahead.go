@@ -31,6 +31,7 @@ import (
 	"aisched/internal/graph"
 	"aisched/internal/idle"
 	"aisched/internal/machine"
+	"aisched/internal/obs"
 	"aisched/internal/rank"
 	"aisched/internal/sched"
 )
@@ -42,6 +43,13 @@ type Options struct {
 	Tie []graph.NodeID
 	// SkipDelay disables the Delay_Idle_Slots pass (ablation experiment T2).
 	SkipDelay bool
+	// Tracer, when non-nil, receives structured pass events: one
+	// pass-start/pass-end pair for the whole algorithm, and per block a
+	// KindMergeLoosen event for each deadline-loosening round of merge, a
+	// KindMerge event for the merged schedule, the Delay_Idle_Slots events
+	// (see idle.DelayIdleSlotsT), and a KindChop event with the committed
+	// prefix, the carried-suffix size, and the chop time base.
+	Tracer obs.Tracer
 }
 
 // Result is the output of Algorithm Lookahead.
@@ -105,6 +113,11 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	}
 	if !g.IsAcyclic() {
 		return nil, fmt.Errorf("core: trace graph has a loop-independent cycle")
+	}
+	tr := opt.Tracer
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassLookahead,
+			Block: -1, Node: graph.None, N: g.Len()})
 	}
 	blocks := sched.Blocks(g)
 	byBlock := make(map[int][]graph.NodeID)
@@ -184,6 +197,10 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 			return nil, err
 		}
 		for bump := 0; !res.Feasible && bump <= maxBump(sub); bump++ {
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindMergeLoosen, Block: b,
+					Node: graph.None, N: bump + 1})
+			}
 			for si := 0; si < sub.Len(); si++ {
 				if !isOld[si] {
 					d[si]++
@@ -225,10 +242,14 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 			}
 		}
 		s := res.S
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindMerge, Block: b, Node: graph.None,
+				From: len(oldIDs), To: len(newIDs), N: s.Makespan()})
+		}
 
 		// ---- Delay_Idle_Slots ----
 		if !opt.SkipDelay {
-			s, d, err = idle.DelayIdleSlots(s, m, d, tie)
+			s, d, err = idle.DelayIdleSlotsT(s, m, d, tie, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -236,6 +257,10 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 
 		// ---- chop ----
 		minus, plus, base := chop(s, m.Window)
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindChop, Block: b, Node: graph.None,
+				From: len(minus), To: len(plus), N: base})
+		}
 		for _, si := range minus {
 			oi := ids[si]
 			emitted = append(emitted, oi)
@@ -269,6 +294,10 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	for _, id := range emitted {
 		b := g.Node(id).Block
 		out.BlockOrders[b] = append(out.BlockOrders[b], id)
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassLookahead,
+			Block: -1, Node: graph.None, N: out.Makespan()})
 	}
 	return out, nil
 }

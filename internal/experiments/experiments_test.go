@@ -151,3 +151,16 @@ func TestA2UnrollSweep(t *testing.T) {
 		t.Fatalf("A2 failed:\n%s", r)
 	}
 }
+
+func TestO1Passes(t *testing.T) {
+	r, err := O1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Fatalf("O1 failed:\n%s", r)
+	}
+	if !strings.Contains(r.Table.String(), "cross-blk fills") {
+		t.Fatalf("O1 table lacks the fill columns:\n%s", r)
+	}
+}

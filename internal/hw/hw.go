@@ -17,6 +17,7 @@ import (
 
 	"aisched/internal/graph"
 	"aisched/internal/machine"
+	"aisched/internal/obs"
 )
 
 // Options control simulation details.
@@ -34,6 +35,12 @@ type Options struct {
 	MispredictEvery int
 	// Penalty is the rollback/refill cost of a misprediction in cycles.
 	Penalty int
+	// Tracer, when non-nil, receives cycle-level events: every issue (with
+	// idle-slot fill attribution), every issue-phase stall cycle with a
+	// StallReason, window head/occupancy changes, and rollbacks. Tracing
+	// never changes simulation results; a nil Tracer costs nothing on the
+	// hot path.
+	Tracer obs.Tracer
 }
 
 // instance is one dynamic instruction: a node of the body graph in a
@@ -58,6 +65,13 @@ type Result struct {
 // compiler emitted) on machine m. Only distance-0 edges constrain execution.
 func SimulateTrace(g *graph.Graph, m *machine.Machine, order []graph.NodeID) (*Result, error) {
 	return simulate(g, m, order, 1, Options{Speculate: true})
+}
+
+// SimulateTraceT is SimulateTrace with cycle-level tracing: issue events
+// with idle-slot fill attribution, per-cycle stall reasons, window
+// head/occupancy changes. A nil tracer is equivalent to SimulateTrace.
+func SimulateTraceT(g *graph.Graph, m *machine.Machine, order []graph.NodeID, tr obs.Tracer) (*Result, error) {
+	return simulate(g, m, order, 1, Options{Speculate: true, Tracer: tr})
 }
 
 // SimulateLoop executes iters iterations of a loop body graph whose
@@ -135,10 +149,43 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 	done := 0
 	// stallUntil blocks all issue before the given cycle (mispredict refill).
 	stallUntil := 0
+	tr := opt.Tracer
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassSimulate,
+			Block: -1, Node: graph.None, N: total})
+	}
+	// emitWindow reports window head/occupancy whenever either changes.
+	lastHead, lastOcc := -1, -1
+	emitWindow := func(t int) {
+		inWindow := head + w
+		if inWindow > total {
+			inWindow = total
+		}
+		occ := 0
+		for i := head; i < inWindow; i++ {
+			if issued[i] < 0 {
+				occ++
+			}
+		}
+		if head != lastHead || occ != lastOcc {
+			tr.Emit(obs.Event{Kind: obs.KindWindow, Cycle: t, From: head, N: occ,
+				Block: -1, Node: graph.None})
+			lastHead, lastOcc = head, occ
+		}
+	}
 	for t := 0; done < total; t++ {
 		if t < stallUntil {
+			if tr != nil {
+				for c := t; c < stallUntil; c++ {
+					tr.Emit(obs.Event{Kind: obs.KindStall, Cycle: c,
+						Reason: obs.RollbackRefill, Block: -1, Node: graph.None})
+				}
+			}
 			t = stallUntil - 1
 			continue
+		}
+		if tr != nil {
+			emitWindow(t)
 		}
 		progress := false
 		inWindow := head + w
@@ -168,6 +215,27 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 			if unit < 0 {
 				continue
 			}
+			if tr != nil {
+				// Fill attribution: issuing past an earlier unissued
+				// instruction means this instruction fills an idle slot the
+				// effective head left behind; it is a cross-block fill when
+				// the overtaken instruction belongs to a different basic
+				// block or iteration — the anticipatory overlap the paper's
+				// schedules engineer.
+				nd := g.Node(ins.node)
+				fill, cross := false, false
+				for j := head; j < i; j++ {
+					if issued[j] < 0 {
+						over := stream[j]
+						fill = true
+						cross = g.Node(over.node).Block != nd.Block || over.iter != ins.iter
+						break
+					}
+				}
+				tr.Emit(obs.Event{Kind: obs.KindIssue, Cycle: t, Pos: i,
+					Node: ins.node, Label: nd.Label, Block: nd.Block,
+					Iter: ins.iter, Unit: unit, N: nd.Exec, Fill: fill, Cross: cross})
+			}
 			issued[i] = t
 			finish[i] = t + g.Node(ins.node).Exec
 			unitFree[unit] = finish[i]
@@ -180,11 +248,13 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 				if nextMispredict <= 0 {
 					nextMispredict = opt.MispredictEvery
 					rollbacks++
+					squashed := 0
 					for j := i + 1; j < total; j++ {
 						if issued[j] >= 0 {
 							issued[j] = -1
 							finish[j] = -1
 							done--
+							squashed++
 						}
 					}
 					// All units refill after the branch resolves.
@@ -194,12 +264,20 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 							unitFree[u] = stallUntil
 						}
 					}
+					if tr != nil {
+						tr.Emit(obs.Event{Kind: obs.KindRollback, Cycle: t, Pos: i,
+							Node: ins.node, Label: g.Node(ins.node).Label,
+							Block: g.Node(ins.node).Block, N: squashed, To: stallUntil})
+					}
 				}
 			}
 		}
 		// Advance the window head past the issued prefix.
 		for head < total && issued[head] >= 0 {
 			head++
+		}
+		if tr != nil {
+			emitWindow(t)
 		}
 		if !progress {
 			// Jump to the next time anything can change.
@@ -232,6 +310,18 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 			if next <= t {
 				next = t + 1
 			}
+			if tr != nil {
+				// Attribute every stalled cycle in [t, next). The reason can
+				// change inside the range (a producer completing makes a
+				// window instruction data-ready but its unit stays busy), so
+				// classify per cycle.
+				for c := t; c < next; c++ {
+					tr.Emit(obs.Event{Kind: obs.KindStall, Cycle: c, Block: -1,
+						Node: graph.None,
+						Reason: classifyStall(g, m, opt, pos, finish, stream, issued,
+							unitFree, head, inWindow, total, w, c)})
+				}
+			}
 			t = next - 1
 		}
 	}
@@ -241,7 +331,51 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 			completion = f
 		}
 	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassSimulate,
+			Block: -1, Node: graph.None, N: completion})
+	}
 	return &Result{Completion: completion, Issued: issued, Rollbacks: rollbacks}, nil
+}
+
+// classifyStall attributes one issue-phase stall cycle to a StallReason.
+// Precedence: UnitBusy (a window-resident instruction is data-ready but its
+// class's units are all occupied) over WindowFull (nothing in the window can
+// issue, yet an instruction just beyond it is ready with a free unit — the
+// lookahead size W is the binding constraint) over HeadBlocked (the window
+// has already drained instructions past the head out of order and can no
+// longer slide) over DepWait (plain dependence wait). RollbackRefill cycles
+// are attributed at the emission site.
+func classifyStall(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int,
+	finish []int, stream []instance, issued, unitFree []int,
+	head, inWindow, total, w, t int) obs.StallReason {
+	for i := head; i < inWindow; i++ {
+		if issued[i] >= 0 {
+			continue
+		}
+		if earliestReady(g, m, opt, pos, finish, stream[i]) <= t {
+			return obs.UnitBusy
+		}
+	}
+	if inWindow-head == w {
+		for j := inWindow; j < total; j++ {
+			if earliestReady(g, m, opt, pos, finish, stream[j]) > t {
+				continue
+			}
+			base, count := unitRange(m, machine.UnitClass(g.Node(stream[j].node).Class))
+			for u := base; u < base+count; u++ {
+				if unitFree[u] <= t {
+					return obs.WindowFull
+				}
+			}
+		}
+	}
+	for i := head + 1; i < inWindow; i++ {
+		if issued[i] >= 0 {
+			return obs.HeadBlocked
+		}
+	}
+	return obs.DepWait
 }
 
 // honored reports whether the simulator enforces edge e for this run.

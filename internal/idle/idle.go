@@ -20,6 +20,7 @@ import (
 
 	"aisched/internal/graph"
 	"aisched/internal/machine"
+	"aisched/internal/obs"
 	"aisched/internal/rank"
 	"aisched/internal/sched"
 )
@@ -52,6 +53,13 @@ const maxInner = 4
 // eliminated, or the instance becomes infeasible. On failure the input
 // schedule and deadlines are returned unchanged (Moved == false).
 func MoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID) (*MoveResult, error) {
+	return MoveIdleSlotT(s, m, d, unit, t, tie, nil)
+}
+
+// MoveIdleSlotT is MoveIdleSlot with optional tracing: every tail-deadline
+// demotion emits a KindDeadlineTighten event (the slot's start time in
+// Cycle, the deadline change in From→To).
+func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID, tr obs.Tracer) (*MoveResult, error) {
 	g := s.G
 	if len(d) != g.Len() {
 		return nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
@@ -86,6 +94,11 @@ func MoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, t
 		}
 		// In a feasible schedule finish(tail) = t ≤ dd[tail], so this always
 		// tightens.
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindDeadlineTighten, Node: tail,
+				Label: g.Node(tail).Label, Block: g.Node(tail).Block,
+				Unit: unit, Cycle: t, From: dd[tail], To: newDeadline})
+		}
 		dd[tail] = newDeadline
 
 		ranks, err := rank.Compute(g, m, dd)
@@ -157,6 +170,19 @@ func tailNode(s *sched.Schedule, unit, t int) graph.NodeID {
 // MoveIdleSlot on each until it can no longer be delayed. Returns the final
 // schedule and committed deadlines.
 func DelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID) (*sched.Schedule, []int, error) {
+	return DelayIdleSlotsT(s, m, d, tie, nil)
+}
+
+// DelayIdleSlotsT is DelayIdleSlots with optional tracing: the pass is
+// bracketed by pass-start/pass-end events named obs.PassDelayIdleSlots, and
+// every successful Move_Idle_Slot emits a KindSlotMove event (unit, old
+// start in From, new start in To, −1 = slot eliminated) in addition to the
+// per-demotion KindDeadlineTighten events from MoveIdleSlotT.
+func DelayIdleSlotsT(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID, tr obs.Tracer) (*sched.Schedule, []int, error) {
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassDelayIdleSlots,
+			Block: -1, Node: graph.None, N: len(s.IdleSlots())})
+	}
 	cur := s
 	dd := append([]int(nil), d...)
 	for unit := 0; unit < m.TotalUnits(); unit++ {
@@ -166,17 +192,26 @@ func DelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.
 			if ordinal >= len(slots) {
 				break
 			}
-			res, err := MoveIdleSlot(cur, m, dd, unit, slots[ordinal], tie)
+			res, err := MoveIdleSlotT(cur, m, dd, unit, slots[ordinal], tie, tr)
 			if err != nil {
 				return nil, nil, err
 			}
 			if res.Moved {
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindSlotMove, Unit: unit,
+						Block: -1, Node: graph.None,
+						From: slots[ordinal], To: res.NewStart})
+				}
 				cur = res.S
 				dd = res.D
 				continue // same ordinal: try to push it further
 			}
 			ordinal++
 		}
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassDelayIdleSlots,
+			Block: -1, Node: graph.None, N: cur.Makespan()})
 	}
 	return cur, dd, nil
 }

@@ -6,6 +6,7 @@ import (
 	"aisched/internal/core"
 	"aisched/internal/graph"
 	"aisched/internal/machine"
+	"aisched/internal/obs"
 )
 
 // ScheduleLoopTrace implements §5.1: anticipatory scheduling of a loop whose
@@ -21,6 +22,14 @@ import (
 // and are handled only by the steady-state evaluation (heuristic regime, as
 // in the paper).
 func ScheduleLoopTrace(g *graph.Graph, m *machine.Machine) (*Steady, error) {
+	return ScheduleLoopTraceT(g, m, nil)
+}
+
+// ScheduleLoopTraceT is ScheduleLoopTrace with optional tracing: the inner
+// Algorithm Lookahead run over the augmented trace emits its usual
+// merge/delay/chop events, and the evaluated body order emits one
+// KindIICandidate event of kind "trace".
+func ScheduleLoopTraceT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
 	blocks := blockSet(g)
 	if len(blocks) < 2 {
 		return nil, fmt.Errorf("loops: ScheduleLoopTrace needs ≥ 2 blocks, got %d", len(blocks))
@@ -58,7 +67,7 @@ func ScheduleLoopTrace(g *graph.Graph, m *machine.Machine) (*Steady, error) {
 		}
 	}
 
-	res, err := core.Lookahead(aug, m)
+	res, err := core.LookaheadOpts(aug, m, core.Options{Tracer: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -73,16 +82,30 @@ func ScheduleLoopTrace(g *graph.Graph, m *machine.Machine) (*Steady, error) {
 	if len(order) != n {
 		return nil, fmt.Errorf("loops: augmented lookahead emitted %d of %d body instructions", len(order), n)
 	}
-	return Evaluate(g, m, order)
+	st, err := Evaluate(g, m, order)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindIICandidate, Pass: "trace",
+			Node: graph.None, Block: -1, N: st.II, From: st.Makespan})
+	}
+	return st, nil
 }
 
 // ScheduleLoop dispatches on the body structure: the §5.2 single-block
 // algorithm for one block, the §5.1 trace algorithm otherwise.
 func ScheduleLoop(g *graph.Graph, m *machine.Machine) (*Steady, error) {
+	return ScheduleLoopT(g, m, nil)
+}
+
+// ScheduleLoopT is ScheduleLoop with optional tracing (see
+// ScheduleSingleBlockLoopT and ScheduleLoopTraceT).
+func ScheduleLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
 	if len(blockSet(g)) == 1 {
-		return ScheduleSingleBlockLoop(g, m)
+		return ScheduleSingleBlockLoopT(g, m, tr)
 	}
-	return ScheduleLoopTrace(g, m)
+	return ScheduleLoopTraceT(g, m, tr)
 }
 
 func blockSet(g *graph.Graph) []int {

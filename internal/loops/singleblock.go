@@ -6,6 +6,7 @@ import (
 	"aisched/internal/graph"
 	"aisched/internal/idle"
 	"aisched/internal/machine"
+	"aisched/internal/obs"
 	"aisched/internal/rank"
 )
 
@@ -166,10 +167,28 @@ func Candidates(g *graph.Graph) (sources, sinks []graph.NodeID) {
 // evaluate each in the periodic steady-state model, and keep the best
 // (smallest II, ties broken by smaller intra-iteration makespan).
 func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error) {
+	return ScheduleSingleBlockLoopT(g, m, nil)
+}
+
+// ScheduleSingleBlockLoopT is ScheduleSingleBlockLoop with optional tracing:
+// every candidate evaluation emits a KindIICandidate event (candidate kind
+// "base", "source" or "sink"; the candidate instruction; the achieved II and
+// intra-iteration makespan), bracketed by a pass-start/pass-end pair named
+// obs.PassLoop whose end event carries the best II.
+func ScheduleSingleBlockLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
 	if g.Len() == 0 {
 		return nil, fmt.Errorf("loops: empty loop body")
 	}
-	var candidates [][]graph.NodeID
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassLoop,
+			Block: -1, Node: graph.None, N: g.Len()})
+	}
+	type candidate struct {
+		kind  string
+		node  graph.NodeID
+		order []graph.NodeID
+	}
+	var candidates []candidate
 
 	// Baseline: block-optimal order from the Rank Algorithm on G_li.
 	li := g.LoopIndependent()
@@ -182,7 +201,7 @@ func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error
 	if err != nil {
 		return nil, err
 	}
-	candidates = append(candidates, base.Permutation())
+	candidates = append(candidates, candidate{"base", graph.None, base.Permutation()})
 
 	sources, sinks := Candidates(g)
 	for _, y := range sources {
@@ -190,25 +209,38 @@ func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error
 		if err != nil {
 			return nil, err
 		}
-		candidates = append(candidates, order)
+		candidates = append(candidates, candidate{"source", y, order})
 	}
 	for _, y := range sinks {
 		order, err := SingleSinkOrder(g, m, y)
 		if err != nil {
 			return nil, err
 		}
-		candidates = append(candidates, order)
+		candidates = append(candidates, candidate{"sink", y, order})
 	}
 
 	var best *Steady
-	for _, order := range candidates {
-		st, err := Evaluate(g, m, order)
+	for _, c := range candidates {
+		st, err := Evaluate(g, m, c.order)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			label := ""
+			if c.node != graph.None {
+				label = g.Node(c.node).Label
+			}
+			tr.Emit(obs.Event{Kind: obs.KindIICandidate, Pass: c.kind,
+				Node: c.node, Label: label, Block: -1,
+				N: st.II, From: st.Makespan})
 		}
 		if best == nil || st.II < best.II || (st.II == best.II && st.Makespan < best.Makespan) {
 			best = st
 		}
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassLoop,
+			Block: -1, Node: graph.None, N: best.II})
 	}
 	return best, nil
 }

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the recorded stream rendered in the Trace Event
+// Format understood by Perfetto (ui.perfetto.dev) and chrome://tracing. One
+// machine cycle maps to one microsecond of trace time.
+//
+// Layout:
+//
+//	pid 1 "hardware"  — tid 0..U−1: one lane per functional unit (issue
+//	                    events, ph "X"); tid 90 "window": occupancy counter
+//	                    (ph "C"); tid 91 "stalls": stall spans (ph "X",
+//	                    consecutive same-reason cycles merged) and rollback
+//	                    instants (ph "i").
+//	pid 2 "scheduler" — tid 0: pass spans (ph "B"/"E") and pass-internal
+//	                    decisions (ph "i": merge, chop, slot-move,
+//	                    deadline-tighten, ii-candidate).
+//
+// The schema — names, phases, and required args per event class — is pinned
+// by the golden-file test in chrome_golden_test.go.
+
+// Trace-layout constants.
+const (
+	chromePidHW    = 1
+	chromePidSched = 2
+	chromeTidWin   = 90
+	chromeTidStall = 91
+)
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// Trace Event Format; omitted fields are dropped from the JSON.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int            `json:"ts"`
+	Dur   int            `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// ChromeTrace renders the recorded events as Chrome trace-event JSON.
+func (r *Recorder) ChromeTrace() ([]byte, error) {
+	events := r.Events()
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"source": "aisched/internal/obs",
+			"unit":   "1 machine cycle = 1 us",
+		},
+	}
+	meta := func(pid, tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: kind, Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePidHW, 0, "process_name", "hardware")
+	meta(chromePidSched, 0, "process_name", "scheduler")
+	meta(chromePidHW, chromeTidWin, "thread_name", "window")
+	meta(chromePidHW, chromeTidStall, "thread_name", "stalls")
+
+	units := map[int]bool{}
+	// Pending stall span being merged: consecutive cycles, same reason.
+	stallStart, stallEnd := -1, -1
+	var stallReason StallReason
+	flushStall := func() {
+		if stallStart < 0 {
+			return
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "stall:" + stallReason.String(), Phase: "X",
+			TS: stallStart, Dur: stallEnd - stallStart + 1,
+			PID: chromePidHW, TID: chromeTidStall,
+			Args: map[string]any{"reason": stallReason.String(), "cycles": stallEnd - stallStart + 1},
+		})
+		stallStart = -1
+	}
+
+	for _, e := range events {
+		if e.Kind != KindStall {
+			// Rollback instants land between stall spans in cycle order.
+			flushStall()
+		}
+		switch e.Kind {
+		case KindIssue:
+			units[e.Unit] = true
+			fill := "in-order"
+			if e.Fill {
+				fill = "same-block"
+				if e.Cross {
+					fill = "cross-block"
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Label, Phase: "X", TS: e.Cycle, Dur: e.N,
+				PID: chromePidHW, TID: e.Unit,
+				Args: map[string]any{
+					"pos": e.Pos, "node": int(e.Node), "block": e.Block,
+					"iter": e.Iter, "fill": fill,
+				},
+			})
+		case KindStall:
+			if stallStart >= 0 && e.Reason == stallReason && e.Cycle == stallEnd+1 {
+				stallEnd = e.Cycle
+				continue
+			}
+			flushStall()
+			stallStart, stallEnd, stallReason = e.Cycle, e.Cycle, e.Reason
+		case KindRollback:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "rollback", Phase: "i", TS: e.Cycle, Scope: "p",
+				PID: chromePidHW, TID: chromeTidStall,
+				Args: map[string]any{"branch_pos": e.Pos, "squashed": e.N, "resume": e.To},
+			})
+		case KindWindow:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "window-occupancy", Phase: "C", TS: e.Cycle,
+				PID: chromePidHW, TID: chromeTidWin,
+				Args: map[string]any{"occupied": e.N, "head": e.From},
+			})
+		case KindPassStart:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Pass, Phase: "B", TS: e.Cycle, PID: chromePidSched, TID: 0,
+			})
+		case KindPassEnd:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Pass, Phase: "E", TS: e.Cycle, PID: chromePidSched, TID: 0,
+				Args: map[string]any{"result": e.N},
+			})
+		case KindDeadlineTighten:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "deadline-tighten", Phase: "i", TS: e.Cycle, Scope: "t",
+				PID: chromePidSched, TID: 0,
+				Args: map[string]any{"node": int(e.Node), "label": e.Label, "from": e.From, "to": e.To},
+			})
+		case KindSlotMove:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "slot-move", Phase: "i", TS: e.From, Scope: "t",
+				PID: chromePidSched, TID: 0,
+				Args: map[string]any{"unit": e.Unit, "from": e.From, "to": e.To},
+			})
+		case KindMergeLoosen:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "merge-loosen", Phase: "i", TS: 0, Scope: "t",
+				PID: chromePidSched, TID: 0,
+				Args: map[string]any{"block": e.Block, "round": e.N},
+			})
+		case KindMerge:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "merge", Phase: "i", TS: 0, Scope: "t",
+				PID: chromePidSched, TID: 0,
+				Args: map[string]any{"block": e.Block, "old": e.From, "new": e.To, "makespan": e.N},
+			})
+		case KindChop:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "chop", Phase: "i", TS: 0, Scope: "t",
+				PID: chromePidSched, TID: 0,
+				Args: map[string]any{"block": e.Block, "committed": e.From, "carried": e.To, "base": e.N},
+			})
+		case KindIICandidate:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "ii-candidate", Phase: "i", TS: 0, Scope: "t",
+				PID: chromePidSched, TID: 0,
+				Args: map[string]any{"kind": e.Pass, "node": int(e.Node), "label": e.Label,
+					"ii": e.N, "makespan": e.From},
+			})
+		}
+	}
+	flushStall()
+	var unitIDs []int
+	for u := range units {
+		unitIDs = append(unitIDs, u)
+	}
+	sort.Ints(unitIDs)
+	for _, u := range unitIDs {
+		meta(chromePidHW, u, "thread_name", fmt.Sprintf("unit %d", u))
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON to w.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	data, err := r.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aisched/internal/graph"
+)
+
+func TestStallReasonNames(t *testing.T) {
+	want := map[StallReason]string{
+		DepWait:        "dep-wait",
+		WindowFull:     "window-full",
+		HeadBlocked:    "head-blocked",
+		UnitBusy:       "unit-busy",
+		RollbackRefill: "rollback-refill",
+	}
+	if len(want) != int(NumStallReasons) {
+		t.Fatalf("test covers %d reasons, enum has %d", len(want), NumStallReasons)
+	}
+	seen := map[string]bool{}
+	for r, name := range want {
+		if got := r.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", r, got, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate reason name %q", name)
+		}
+		seen[name] = true
+		if r.Letter() == '?' {
+			t.Errorf("reason %q has no timeline letter", name)
+		}
+	}
+}
+
+func TestRecorderStatsCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindPassStart, Pass: PassSimulate})
+	r.Emit(Event{Kind: KindWindow, Cycle: 0, From: 0, N: 2})
+	r.Emit(Event{Kind: KindIssue, Cycle: 0, Pos: 0, Label: "a", N: 1})
+	r.Emit(Event{Kind: KindIssue, Cycle: 1, Pos: 2, Label: "c", N: 1, Fill: true, Cross: true})
+	r.Emit(Event{Kind: KindIssue, Cycle: 2, Pos: 1, Label: "b", N: 1, Fill: true})
+	r.Emit(Event{Kind: KindStall, Cycle: 3, Reason: DepWait})
+	r.Emit(Event{Kind: KindStall, Cycle: 4, Reason: UnitBusy})
+	r.Emit(Event{Kind: KindStall, Cycle: 5, Reason: UnitBusy})
+	r.Emit(Event{Kind: KindRollback, Cycle: 6, Pos: 3, N: 2, To: 9})
+	r.Emit(Event{Kind: KindIssue, Cycle: 9, Pos: 2, Label: "c", N: 1}) // re-issue
+	r.Emit(Event{Kind: KindPassEnd, Pass: PassSimulate, N: 10})
+
+	s := r.Stats()
+	if s.Completion != 10 {
+		t.Errorf("Completion = %d, want 10", s.Completion)
+	}
+	if s.Issues != 4 || s.Instructions != 3 || s.Reissues != 1 {
+		t.Errorf("Issues/Instructions/Reissues = %d/%d/%d, want 4/3/1",
+			s.Issues, s.Instructions, s.Reissues)
+	}
+	if s.StallCycles != 3 {
+		t.Errorf("StallCycles = %d, want 3", s.StallCycles)
+	}
+	sum := 0
+	for _, n := range s.StallByReason {
+		sum += n
+	}
+	if sum != s.StallCycles {
+		t.Errorf("stall breakdown sums to %d, want %d", sum, s.StallCycles)
+	}
+	if s.StallByReason["unit-busy"] != 2 || s.StallByReason["dep-wait"] != 1 {
+		t.Errorf("StallByReason = %v", s.StallByReason)
+	}
+	if s.SameBlockFills != 1 || s.CrossBlockFills != 1 {
+		t.Errorf("fills same/cross = %d/%d, want 1/1", s.SameBlockFills, s.CrossBlockFills)
+	}
+	if s.Rollbacks != 1 || s.Squashed != 2 {
+		t.Errorf("Rollbacks/Squashed = %d/%d, want 1/2", s.Rollbacks, s.Squashed)
+	}
+	if s.Passes[PassSimulate] != 1 {
+		t.Errorf("Passes = %v", s.Passes)
+	}
+}
+
+func TestRecorderStatsPassCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindPassStart, Pass: PassLookahead})
+	r.Emit(Event{Kind: KindMergeLoosen, Block: 0, N: 1})
+	r.Emit(Event{Kind: KindMerge, Block: 0, From: 0, To: 5, N: 7})
+	r.Emit(Event{Kind: KindDeadlineTighten, Node: 3, From: 7, To: 6})
+	r.Emit(Event{Kind: KindSlotMove, Unit: 0, From: 2, To: 5})
+	r.Emit(Event{Kind: KindSlotMove, Unit: 0, From: 5, To: -1})
+	r.Emit(Event{Kind: KindChop, Block: 0, From: 4, To: 2, N: 5})
+	r.Emit(Event{Kind: KindChop, Block: 1, From: 3, To: 3, N: 4})
+	r.Emit(Event{Kind: KindIICandidate, Pass: "base", Node: graph.None, N: 7, From: 9})
+	r.Emit(Event{Kind: KindIICandidate, Pass: "source", Node: 2, N: 6, From: 9})
+	r.Emit(Event{Kind: KindPassEnd, Pass: PassLookahead, N: 11})
+
+	s := r.Stats()
+	if s.MergeLoosenings != 1 || s.Merges != 1 {
+		t.Errorf("MergeLoosenings/Merges = %d/%d", s.MergeLoosenings, s.Merges)
+	}
+	if s.DeadlineTightenings != 1 {
+		t.Errorf("DeadlineTightenings = %d", s.DeadlineTightenings)
+	}
+	if s.SlotMoves != 2 || s.SlotsEliminated != 1 {
+		t.Errorf("SlotMoves/SlotsEliminated = %d/%d", s.SlotMoves, s.SlotsEliminated)
+	}
+	if s.Chops != 2 || s.CommittedPrefix != 7 || s.MaxCarriedSuffix != 3 {
+		t.Errorf("Chops/CommittedPrefix/MaxCarriedSuffix = %d/%d/%d",
+			s.Chops, s.CommittedPrefix, s.MaxCarriedSuffix)
+	}
+	if s.IICandidates != 2 || s.BestII != 6 {
+		t.Errorf("IICandidates/BestII = %d/%d", s.IICandidates, s.BestII)
+	}
+}
+
+func TestRecorderWindowOccupancyIntegration(t *testing.T) {
+	r := NewRecorder()
+	// Occupancy 2 over cycles [0,3), 1 over [3,5), 0 at cycle 5; last
+	// activity at cycle 5.
+	r.Emit(Event{Kind: KindWindow, Cycle: 0, N: 2})
+	r.Emit(Event{Kind: KindWindow, Cycle: 3, N: 1})
+	r.Emit(Event{Kind: KindWindow, Cycle: 5, N: 0})
+	s := r.Stats()
+	want := []int{1, 2, 3}
+	if len(s.WindowOccupancy) != len(want) {
+		t.Fatalf("WindowOccupancy = %v, want %v", s.WindowOccupancy, want)
+	}
+	for i := range want {
+		if s.WindowOccupancy[i] != want[i] {
+			t.Fatalf("WindowOccupancy = %v, want %v", s.WindowOccupancy, want)
+		}
+	}
+}
+
+func TestRecorderResetAndLen(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindIssue})
+	r.Emit(Event{Kind: KindStall})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+}
+
+func TestStatsJSONStableNames(t *testing.T) {
+	s := Stats{StallByReason: map[string]int{"dep-wait": 1}, Passes: map[string]int{}}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"completion_cycles", "issues", "instructions", "reissues",
+		"stall_cycles", "stall_by_reason", "window_occupancy_cycles",
+		"idle_fills_same_block", "idle_fills_cross_block", "rollbacks",
+		"squashed", "deadline_tightenings", "slot_moves", "slots_eliminated",
+		"merge_loosenings", "merges", "chops", "committed_prefix_total",
+		"max_carried_suffix", "ii_candidates", "best_ii", "passes",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("stats JSON lacks key %q", key)
+		}
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindPassStart, Pass: PassSimulate})
+	r.Emit(Event{Kind: KindWindow, Cycle: 0, From: 0, N: 2})
+	r.Emit(Event{Kind: KindIssue, Cycle: 0, Pos: 0, Label: "ld", Unit: 0, N: 1})
+	r.Emit(Event{Kind: KindIssue, Cycle: 1, Pos: 1, Label: "mul", Unit: 0, N: 2})
+	r.Emit(Event{Kind: KindStall, Cycle: 3, Reason: DepWait})
+	r.Emit(Event{Kind: KindIssue, Cycle: 4, Pos: 2, Label: "st", Unit: 1, N: 1})
+	r.Emit(Event{Kind: KindPassEnd, Pass: PassSimulate, N: 5})
+	tl := r.Timeline()
+	for _, want := range []string{"cycle", "u0", "u1", "stall", "head", "ld", "mul", "st", "D"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline lacks %q:\n%s", want, tl)
+		}
+	}
+	// mul runs for 2 cycles: its label appears twice.
+	if strings.Count(tl, "mul") != 2 {
+		t.Errorf("mul should occupy 2 cells:\n%s", tl)
+	}
+}
+
+func TestTimelineRollbackOverwrite(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindIssue, Cycle: 1, Pos: 5, Label: "x", Unit: 0, N: 1})
+	r.Emit(Event{Kind: KindRollback, Cycle: 1, Pos: 4, N: 1, To: 3})
+	r.Emit(Event{Kind: KindIssue, Cycle: 4, Pos: 5, Label: "x", Unit: 0, N: 1})
+	r.Emit(Event{Kind: KindPassEnd, Pass: PassSimulate, N: 6})
+	tl := r.Timeline()
+	if strings.Count(tl, "x") != 1 {
+		t.Errorf("squashed issue should be erased by its re-issue:\n%s", tl)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if tl := NewRecorder().Timeline(); !strings.Contains(tl, "no simulator events") {
+		t.Errorf("empty timeline = %q", tl)
+	}
+}

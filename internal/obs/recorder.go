@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Recorder is the standard Tracer: it collects every event in memory and
+// derives the metrics registry, the Chrome trace export, and the text
+// timeline from the recorded stream. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded event stream in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Stats is the metrics registry snapshot: counters and histograms derived
+// from one recorded event stream. All fields marshal to stable JSON names —
+// cmd/aisched -stats prints exactly this structure.
+type Stats struct {
+	// Completion is the completion cycle reported by the last simulator run
+	// (0 when no simulation was recorded).
+	Completion int `json:"completion_cycles"`
+	// Issues counts dynamic issue events, including re-issues after
+	// rollback.
+	Issues int `json:"issues"`
+	// Instructions counts distinct dynamic instructions issued (stream
+	// positions); Issues − Instructions is the re-issue count.
+	Instructions int `json:"instructions"`
+	// Reissues counts issue events for a stream position that had already
+	// issued before (squashed by a rollback and issued again).
+	Reissues int `json:"reissues"`
+	// StallCycles is the number of issue-phase cycles in which nothing
+	// issued. It always equals the sum over StallByReason.
+	StallCycles int `json:"stall_cycles"`
+	// StallByReason breaks StallCycles down by attributed reason.
+	StallByReason map[string]int `json:"stall_by_reason"`
+	// WindowOccupancy[i] is the number of cycles the window held exactly i
+	// not-yet-issued instructions (length: max observed occupancy + 1).
+	WindowOccupancy []int `json:"window_occupancy_cycles"`
+	// SameBlockFills / CrossBlockFills count issues that overtook the window
+	// head (filled an idle slot the head left behind) from the same block
+	// and iteration vs. across a block or iteration boundary. Cross-block
+	// fills are the paper's headline anticipatory effect.
+	SameBlockFills  int `json:"idle_fills_same_block"`
+	CrossBlockFills int `json:"idle_fills_cross_block"`
+	// Rollbacks counts injected branch mispredictions; Squashed the total
+	// instructions rolled back.
+	Rollbacks int `json:"rollbacks"`
+	Squashed  int `json:"squashed"`
+	// Scheduler-pass counters.
+	DeadlineTightenings int `json:"deadline_tightenings"`
+	SlotMoves           int `json:"slot_moves"`
+	SlotsEliminated     int `json:"slots_eliminated"`
+	MergeLoosenings     int `json:"merge_loosenings"`
+	Merges              int `json:"merges"`
+	Chops               int `json:"chops"`
+	CommittedPrefix     int `json:"committed_prefix_total"`
+	MaxCarriedSuffix    int `json:"max_carried_suffix"`
+	IICandidates        int `json:"ii_candidates"`
+	BestII              int `json:"best_ii"`
+	// Passes counts KindPassStart events per pass name.
+	Passes map[string]int `json:"passes"`
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Stats) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Stats derives the metrics snapshot from the recorded events.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	events := r.events
+	defer r.mu.Unlock()
+
+	s := Stats{
+		StallByReason: map[string]int{},
+		Passes:        map[string]int{},
+	}
+	issuedPos := map[int]bool{}
+	// Window occupancy integrates KindWindow step changes over cycles; the
+	// final segment extends to the last issue-phase cycle observed.
+	type winSeg struct{ cycle, occ int }
+	var segs []winSeg
+	lastCycle := 0
+	for _, e := range events {
+		if (e.Kind == KindIssue || e.Kind == KindStall || e.Kind == KindWindow) && e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+		switch e.Kind {
+		case KindPassStart:
+			s.Passes[e.Pass]++
+		case KindPassEnd:
+			if e.Pass == PassSimulate {
+				s.Completion = e.N
+			}
+		case KindIssue:
+			s.Issues++
+			if issuedPos[e.Pos] {
+				s.Reissues++
+			} else {
+				issuedPos[e.Pos] = true
+				s.Instructions++
+			}
+			if e.Fill {
+				if e.Cross {
+					s.CrossBlockFills++
+				} else {
+					s.SameBlockFills++
+				}
+			}
+		case KindStall:
+			s.StallCycles++
+			s.StallByReason[e.Reason.String()]++
+		case KindRollback:
+			s.Rollbacks++
+			s.Squashed += e.N
+		case KindWindow:
+			segs = append(segs, winSeg{e.Cycle, e.N})
+		case KindDeadlineTighten:
+			s.DeadlineTightenings++
+		case KindSlotMove:
+			s.SlotMoves++
+			if e.To < 0 {
+				s.SlotsEliminated++
+			}
+		case KindMergeLoosen:
+			s.MergeLoosenings++
+		case KindMerge:
+			s.Merges++
+		case KindChop:
+			s.Chops++
+			s.CommittedPrefix += e.From
+			if e.To > s.MaxCarriedSuffix {
+				s.MaxCarriedSuffix = e.To
+			}
+		case KindIICandidate:
+			s.IICandidates++
+			if s.BestII == 0 || e.N < s.BestII {
+				s.BestII = e.N
+			}
+		}
+	}
+	for i, seg := range segs {
+		end := lastCycle + 1
+		if i+1 < len(segs) {
+			end = segs[i+1].cycle
+		}
+		if end <= seg.cycle {
+			continue
+		}
+		for len(s.WindowOccupancy) <= seg.occ {
+			s.WindowOccupancy = append(s.WindowOccupancy, 0)
+		}
+		s.WindowOccupancy[seg.occ] += end - seg.cycle
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders the recorded simulator events as a plain-text pipeline
+// diagram: one row per functional unit with each instruction's label
+// repeated for its execution cycles ('.' = the unit is idle), plus a stall
+// row attributing every issue-phase stall cycle by its one-letter reason
+// code (D dep-wait, W window-full, H head-blocked, U unit-busy, R
+// rollback-refill) and a head row showing the window head's stream position
+// whenever it changes. Instructions squashed by a rollback are overwritten
+// by their re-issue. Intended for terminals and tests on small simulations;
+// a 1000-cycle trace renders 1000 columns.
+func (r *Recorder) Timeline() string {
+	events := r.Events()
+	// Completion bound: prefer the simulator's reported completion, fall
+	// back to the last cycle any event touches.
+	end := 0
+	maxUnit := 0
+	for _, e := range events {
+		switch e.Kind {
+		case KindPassEnd:
+			if e.Pass == PassSimulate && e.N > end {
+				end = e.N
+			}
+		case KindIssue:
+			if e.Cycle+e.N > end {
+				end = e.Cycle + e.N
+			}
+			if e.Unit > maxUnit {
+				maxUnit = e.Unit
+			}
+		case KindStall:
+			if e.Cycle+1 > end {
+				end = e.Cycle + 1
+			}
+		}
+	}
+	if end == 0 {
+		return "(no simulator events recorded)"
+	}
+
+	cellW := 1
+	for _, e := range events {
+		if e.Kind == KindIssue && len(e.Label) > cellW {
+			cellW = len(e.Label)
+		}
+	}
+	pad := func(s string) string {
+		if len(s) < cellW {
+			return s + strings.Repeat(" ", cellW-len(s))
+		}
+		return s
+	}
+
+	rows := make([][]string, maxUnit+1)
+	for u := range rows {
+		rows[u] = make([]string, end)
+		for t := range rows[u] {
+			rows[u][t] = pad(".")
+		}
+	}
+	stall := make([]string, end)
+	head := make([]string, end)
+	for t := range stall {
+		stall[t] = pad(" ")
+		head[t] = pad(" ")
+	}
+	// issuedAt[pos] remembers where an instance was drawn so a rollback's
+	// re-issue can erase the squashed placement.
+	type placed struct{ unit, cycle, n int }
+	issuedAt := map[int]placed{}
+	lastHead := -1
+	for _, e := range events {
+		switch e.Kind {
+		case KindIssue:
+			if p, ok := issuedAt[e.Pos]; ok {
+				for t := p.cycle; t < p.cycle+p.n && t < end; t++ {
+					rows[p.unit][t] = pad(".")
+				}
+			}
+			issuedAt[e.Pos] = placed{e.Unit, e.Cycle, e.N}
+			for t := e.Cycle; t < e.Cycle+e.N && t < end; t++ {
+				rows[e.Unit][t] = pad(e.Label)
+			}
+		case KindStall:
+			if e.Cycle < end {
+				stall[e.Cycle] = pad(string(e.Reason.Letter()))
+			}
+		case KindWindow:
+			if e.Cycle < end && e.From != lastHead {
+				head[e.Cycle] = pad(fmt.Sprint(e.From))
+				lastHead = e.From
+			}
+		}
+	}
+
+	var b strings.Builder
+	tick := make([]string, end)
+	for t := range tick {
+		if t%5 == 0 {
+			tick[t] = pad(fmt.Sprint(t))
+		} else {
+			tick[t] = pad(" ")
+		}
+	}
+	fmt.Fprintf(&b, "cycle  %s\n", strings.Join(tick, " "))
+	for u := range rows {
+		fmt.Fprintf(&b, "u%-5d %s\n", u, strings.Join(rows[u], " "))
+	}
+	fmt.Fprintf(&b, "stall  %s\n", strings.Join(stall, " "))
+	fmt.Fprintf(&b, "head   %s", strings.Join(head, " "))
+	return strings.TrimRight(b.String(), " \n") + "\n"
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full local check: build, vet, tests, and the race detector.
+# Tier-1 (build + go test ./...) is what CI gates on; vet and -race catch
+# what plain tests miss.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "check: OK"
