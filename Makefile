@@ -8,7 +8,8 @@ build:
 test:
 	$(GO) test ./...
 
-# Build + vet + tests + race detector (scripts/check.sh).
+# Build + vet + tests + race detector + benchmark regression gate
+# (scripts/check.sh).
 check:
 	./scripts/check.sh
 
@@ -18,7 +19,7 @@ bench:
 # Refresh the committed benchmark snapshot the ≤2% regression budget is
 # measured against.
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -o BENCH_PR1.json
+	$(GO) run ./cmd/benchsnap -o BENCH_PR2.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/idle"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// Differential test: LookaheadOpts on the context-based engine (shared
+// rank.Ctx per induced subgraph, incremental re-ranks on loosen/fallback,
+// ctx-driven Delay_Idle_Slots, binary-search chop) must be bit-identical to
+// referenceLookahead below, which rebuilds the pipeline from the retained
+// naive pieces exactly as the pre-context implementation did.
+
+// referenceLookahead mirrors LookaheadOpts using rank.ReferenceCompute /
+// rank.ReferenceRun, idle.ReferenceDelayIdleSlots and a linear-scan chop.
+func referenceLookahead(g *graph.Graph, m *machine.Machine, opt Options) (*Result, error) {
+	if g.Len() == 0 {
+		return &Result{Order: nil, BlockOrders: map[int][]graph.NodeID{}, S: sched.New(g, m)}, nil
+	}
+	if !g.IsAcyclic() {
+		return nil, fmt.Errorf("core: trace graph has a loop-independent cycle")
+	}
+	blocks := sched.Blocks(g)
+	byBlock := make(map[int][]graph.NodeID)
+	for v := 0; v < g.Len(); v++ {
+		b := g.Node(graph.NodeID(v)).Block
+		byBlock[b] = append(byBlock[b], graph.NodeID(v))
+	}
+	tiePos := make([]int, g.Len())
+	if opt.Tie != nil {
+		for i, id := range opt.Tie {
+			tiePos[id] = i
+		}
+	} else {
+		for i := range tiePos {
+			tiePos[i] = i
+		}
+	}
+	var emitted []graph.NodeID
+	var oldIDs []graph.NodeID
+	dOld := map[graph.NodeID]int{}
+	oldMakespan := 0
+	var plusOrder []graph.NodeID
+	timeBase := 0
+	absStart := make([]int, g.Len())
+	absUnit := make([]int, g.Len())
+	for i := range absStart {
+		absStart[i] = sched.Unassigned
+		absUnit[i] = sched.Unassigned
+	}
+	for _, b := range blocks {
+		newIDs := byBlock[b]
+		keep := make(map[graph.NodeID]bool, len(oldIDs)+len(newIDs))
+		for _, id := range oldIDs {
+			keep[id] = true
+		}
+		for _, id := range newIDs {
+			keep[id] = true
+		}
+		sub, ids := g.Induced(keep)
+		toSub := make(map[graph.NodeID]graph.NodeID, len(ids))
+		for si, oi := range ids {
+			toSub[oi] = graph.NodeID(si)
+		}
+		isOld := make([]bool, sub.Len())
+		for _, id := range oldIDs {
+			isOld[toSub[id]] = true
+		}
+		tie := subTie(ids, tiePos)
+
+		res0, err := rank.ReferenceRun(sub, m, rank.UniformDeadlines(sub.Len(), rank.Big), tie)
+		if err != nil {
+			return nil, err
+		}
+		t := res0.S.Makespan()
+		d := make([]int, sub.Len())
+		for si := 0; si < sub.Len(); si++ {
+			if isOld[si] {
+				d[si] = dOld[ids[si]]
+				if oldMakespan < d[si] {
+					d[si] = oldMakespan
+				}
+			} else {
+				d[si] = t
+			}
+		}
+		res, err := rank.ReferenceRun(sub, m, d, tie)
+		if err != nil {
+			return nil, err
+		}
+		for bump := 0; !res.Feasible && bump <= maxBump(sub); bump++ {
+			for si := 0; si < sub.Len(); si++ {
+				if !isOld[si] {
+					d[si]++
+				}
+			}
+			res, err = rank.ReferenceRun(sub, m, d, tie)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for tries := 0; !res.Feasible && tries < 30; tries++ {
+			changed := false
+			for si := 0; si < sub.Len(); si++ {
+				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
+					d[si] = f
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			res, err = rank.ReferenceRun(sub, m, d, tie)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !res.Feasible {
+			for si := 0; si < sub.Len(); si++ {
+				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
+					d[si] = f
+				}
+			}
+		}
+		s := res.S
+		if !opt.SkipDelay {
+			s, d, err = idle.ReferenceDelayIdleSlots(s, m, d, tie)
+			if err != nil {
+				return nil, err
+			}
+		}
+		minus, plus, base := referenceChop(s, m.Window)
+		for _, si := range minus {
+			oi := ids[si]
+			emitted = append(emitted, oi)
+			absStart[oi] = s.Start[si] + timeBase
+			absUnit[oi] = s.Unit[si]
+		}
+		oldIDs = oldIDs[:0]
+		dOld = map[graph.NodeID]int{}
+		plusOrder = plusOrder[:0]
+		for _, si := range plus {
+			oi := ids[si]
+			oldIDs = append(oldIDs, oi)
+			dOld[oi] = d[si] - base
+			plusOrder = append(plusOrder, oi)
+			absStart[oi] = s.Start[si] + timeBase
+			absUnit[oi] = s.Unit[si]
+		}
+		oldMakespan = s.Makespan() - base
+		timeBase += base
+	}
+	emitted = append(emitted, plusOrder...)
+	if len(emitted) != g.Len() {
+		return nil, fmt.Errorf("core: emitted %d of %d instructions", len(emitted), g.Len())
+	}
+	final := sched.New(g, m)
+	copy(final.Start, absStart)
+	copy(final.Unit, absUnit)
+	out := &Result{Order: emitted, BlockOrders: map[int][]graph.NodeID{}, S: final}
+	for _, id := range emitted {
+		b := g.Node(id).Block
+		out.BlockOrders[b] = append(out.BlockOrders[b], id)
+	}
+	return out, nil
+}
+
+// referenceChop is chop with the original per-slot linear rescan of the
+// permutation in place of the binary search.
+func referenceChop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
+	perm := s.Permutation()
+	if len(perm) < w {
+		return nil, perm, 0
+	}
+	j := -1
+	for _, t := range s.IdleSlots() {
+		after := 0
+		for _, id := range perm {
+			if s.Start[id] > t {
+				after++
+			}
+		}
+		if after >= w && t > j {
+			j = t
+		}
+	}
+	if j < 0 {
+		return nil, perm, 0
+	}
+	for _, id := range perm {
+		if s.Finish(id) <= j {
+			minus = append(minus, id)
+		} else {
+			plus = append(plus, id)
+		}
+	}
+	if len(minus) == 0 {
+		return nil, perm, 0
+	}
+	return minus, plus, j + 1
+}
+
+// randomTrace builds an acyclic multi-block trace with forward edges only.
+func randomDiffTrace(r *rand.Rand, n, nblocks int, p float64, classes int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 1+r.Intn(2), r.Intn(classes), i*nblocks/n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(3), 0)
+			}
+		}
+	}
+	return g
+}
+
+func TestDifferentialLookaheadMatchesReference(t *testing.T) {
+	cases := []struct {
+		m       *machine.Machine
+		classes int
+	}{
+		{machine.SingleUnit(4), 3},
+		{machine.RS6000(4), 3},
+		{machine.Superscalar(2, 4), 1},
+		{machine.SingleUnit(2), 1},
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		cs := cases[seed%int64(len(cases))]
+		r := rand.New(rand.NewSource(seed))
+		g := randomDiffTrace(r, 4+r.Intn(20), 1+r.Intn(4), 0.3, cs.classes)
+		opt := Options{SkipDelay: seed%5 == 4}
+
+		want, err := referenceLookahead(g, cs.m, opt)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		got, err := LookaheadOpts(g, cs.m, opt)
+		if err != nil {
+			t.Fatalf("seed %d: optimized: %v", seed, err)
+		}
+		if fmt.Sprint(got.Order) != fmt.Sprint(want.Order) {
+			t.Fatalf("seed %d on %s: orders differ\n got %v\n want %v",
+				seed, cs.m.Name, got.Order, want.Order)
+		}
+		for v := 0; v < g.Len(); v++ {
+			if got.S.Start[v] != want.S.Start[v] || got.S.Unit[v] != want.S.Unit[v] {
+				t.Fatalf("seed %d on %s: schedule differs at node %d: (%d,%d) vs (%d,%d)",
+					seed, cs.m.Name, v, got.S.Start[v], got.S.Unit[v], want.S.Start[v], want.S.Unit[v])
+			}
+		}
+		var gb, wb []int
+		for b := range got.BlockOrders {
+			gb = append(gb, b)
+		}
+		for b := range want.BlockOrders {
+			wb = append(wb, b)
+		}
+		sort.Ints(gb)
+		sort.Ints(wb)
+		if fmt.Sprint(gb) != fmt.Sprint(wb) {
+			t.Fatalf("seed %d: block sets differ: %v vs %v", seed, gb, wb)
+		}
+		for _, b := range gb {
+			if fmt.Sprint(got.BlockOrders[b]) != fmt.Sprint(want.BlockOrders[b]) {
+				t.Fatalf("seed %d: block %d orders differ\n got %v\n want %v",
+					seed, b, got.BlockOrders[b], want.BlockOrders[b])
+			}
+		}
+	}
+}

@@ -98,9 +98,11 @@ func Lookahead(g *graph.Graph, m *machine.Machine) (*Result, error) {
 // heuristic cases.
 func maxBump(g *graph.Graph) int {
 	maxLat := 1
-	for _, e := range g.Edges() {
-		if e.Latency > maxLat {
-			maxLat = e.Latency
+	for v := 0; v < g.Len(); v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Latency > maxLat {
+				maxLat = e.Latency
+			}
 		}
 	}
 	return 4 * (g.Len() + maxLat + 2)
@@ -171,10 +173,17 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 			isOld[toSub[id]] = true
 		}
 		tie := subTie(ids, tiePos)
+		// One rank context per induced subgraph: the merge re-ranks, every
+		// loosening round and the whole Delay_Idle_Slots pass below share
+		// its cached topo order, descendant closure and scratch.
+		rc, err := rank.NewCtx(sub, m)
+		if err != nil {
+			return nil, err
+		}
 
 		// ---- merge (paper Figure 7) ----
 		// Lower bound pass: every deadline = D.
-		res0, err := rank.Run(sub, m, rank.UniformDeadlines(sub.Len(), rank.Big), tie)
+		res0, err := rc.Run(rank.UniformDeadlines(sub.Len(), rank.Big), tie)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +191,7 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		// Deadline assignment: old confined to its standalone makespan (or
 		// its previously committed tighter deadline), new bounded by T.
 		d := make([]int, sub.Len())
+		newMask := graph.NewBitset(sub.Len())
 		for si := 0; si < sub.Len(); si++ {
 			if isOld[si] {
 				d[si] = dOld[ids[si]]
@@ -190,9 +200,14 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 				}
 			} else {
 				d[si] = t
+				newMask.Set(si)
 			}
 		}
-		res, err := rank.Run(sub, m, d, tie)
+		ranks, err := rc.Compute(d)
+		if err != nil {
+			return nil, err
+		}
+		res, err := rc.RunRanks(ranks, d, tie)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +221,10 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 					d[si]++
 				}
 			}
-			res, err = rank.Run(sub, m, d, tie)
+			// Only the new nodes' deadlines moved: re-rank them and their
+			// ancestors instead of the whole subgraph.
+			rc.Update(ranks, d, newMask)
+			res, err = rc.RunRanks(ranks, d, tie)
 			if err != nil {
 				return nil, err
 			}
@@ -219,17 +237,20 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		// achieved finish time so the pipeline proceeds with the best
 		// schedule found.
 		for tries := 0; !res.Feasible && tries < 30; tries++ {
+			changedMask := graph.NewBitset(sub.Len())
 			changed := false
 			for si := 0; si < sub.Len(); si++ {
 				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
 					d[si] = f
+					changedMask.Set(si)
 					changed = true
 				}
 			}
 			if !changed {
 				break
 			}
-			res, err = rank.Run(sub, m, d, tie)
+			rc.Update(ranks, d, changedMask)
+			res, err = rc.RunRanks(ranks, d, tie)
 			if err != nil {
 				return nil, err
 			}
@@ -249,7 +270,7 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 
 		// ---- Delay_Idle_Slots ----
 		if !opt.SkipDelay {
-			s, d, err = idle.DelayIdleSlotsT(s, m, d, tie, tr)
+			s, d, err = idle.DelayIdleSlotsCtx(rc, s, d, tie, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -331,19 +352,12 @@ func chop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
 	if len(perm) < w {
 		return nil, perm, 0
 	}
-	slotTimes := map[int]bool{}
-	for _, t := range s.IdleSlots() {
-		slotTimes[t] = true
-	}
+	// perm is sorted by start time, so the follower count of a slot is a
+	// binary search away; no per-slot rescan of the permutation.
 	j := -1
-	for t := range slotTimes {
-		follow := 0
-		for _, id := range perm {
-			if s.Start[id] > t {
-				follow++
-			}
-		}
-		if follow >= w && t > j {
+	for _, t := range s.IdleSlots() {
+		lo := sort.Search(len(perm), func(i int) bool { return s.Start[perm[i]] > t })
+		if len(perm)-lo >= w && t > j {
 			j = t
 		}
 	}

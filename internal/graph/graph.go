@@ -179,6 +179,30 @@ func (g *Graph) LoopIndependent() *Graph {
 	for _, n := range g.nodes {
 		h.AddNode(n.Label, n.Exec, n.Class, n.Block)
 	}
+	// Reserve exact adjacency capacity so each nonempty list costs one
+	// allocation instead of a doubling sequence.
+	for v, es := range g.out {
+		cnt := 0
+		for _, e := range es {
+			if e.Distance == 0 {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			h.out[v] = make([]Edge, 0, cnt)
+		}
+	}
+	for v, es := range g.in {
+		cnt := 0
+		for _, e := range es {
+			if e.Distance == 0 {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			h.in[v] = make([]Edge, 0, cnt)
+		}
+	}
 	for _, es := range g.out {
 		for _, e := range es {
 			if e.Distance == 0 {
@@ -257,7 +281,10 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 			}
 		}
 	}
-	// Min-heap behaviour via sorted frontier keeps the order deterministic.
+	// Min-heap behaviour keeps the order deterministic: the pending frontier
+	// is held in ascending order past head, so the head is always the
+	// smallest ready node (same order a per-iteration sort would produce,
+	// without its per-iteration closure allocations).
 	frontier := make([]NodeID, 0, n)
 	for id := 0; id < n; id++ {
 		if indeg[id] == 0 {
@@ -265,10 +292,10 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 		}
 	}
 	order := make([]NodeID, 0, n)
-	for len(frontier) > 0 {
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-		id := frontier[0]
-		frontier = frontier[1:]
+	head := 0
+	for head < len(frontier) {
+		id := frontier[head]
+		head++
 		order = append(order, id)
 		for _, e := range g.out[id] {
 			if e.Distance != 0 {
@@ -276,7 +303,11 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 			}
 			indeg[e.Dst]--
 			if indeg[e.Dst] == 0 {
-				frontier = append(frontier, e.Dst)
+				dst := e.Dst
+				i := head + sort.Search(len(frontier)-head, func(k int) bool { return frontier[head+k] > dst })
+				frontier = append(frontier, 0)
+				copy(frontier[i+1:], frontier[i:])
+				frontier[i] = dst
 			}
 		}
 	}
@@ -300,11 +331,13 @@ func (g *Graph) Descendants() ([]Bitset, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := g.Len()
-	desc := make([]Bitset, n)
-	for i := range desc {
-		desc[i] = NewBitset(n)
-	}
+	return g.DescendantsFrom(order), nil
+}
+
+// DescendantsFrom is Descendants for callers that already hold the graph's
+// topological order (e.g. a rank context), skipping the redundant sort.
+func (g *Graph) DescendantsFrom(order []NodeID) []Bitset {
+	desc := newBitsetRows(g.Len())
 	for i := len(order) - 1; i >= 0; i-- {
 		id := order[i]
 		for _, e := range g.out[id] {
@@ -315,7 +348,20 @@ func (g *Graph) Descendants() ([]Bitset, error) {
 			desc[id].UnionWith(desc[e.Dst])
 		}
 	}
-	return desc, nil
+	return desc
+}
+
+// newBitsetRows returns n zeroed n-bit bitsets carved out of one backing
+// array, so building a transitive closure costs two allocations instead of
+// n+1.
+func newBitsetRows(n int) []Bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
+	rows := make([]Bitset, n)
+	for i := range rows {
+		rows[i] = Bitset(backing[i*words : (i+1)*words : (i+1)*words])
+	}
+	return rows
 }
 
 // Ancestors returns the transpose of Descendants.
@@ -324,11 +370,7 @@ func (g *Graph) Ancestors() ([]Bitset, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := g.Len()
-	anc := make([]Bitset, n)
-	for i := range anc {
-		anc[i] = NewBitset(n)
-	}
+	anc := newBitsetRows(g.Len())
 	for _, id := range order {
 		for _, e := range g.out[id] {
 			if e.Distance != 0 {

@@ -1,0 +1,123 @@
+package idle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// Differential tests: the context-based Move_Idle_Slot / Delay_Idle_Slots —
+// incremental re-ranking, shared refill/reschedule rank computation, unit
+// timeline indexes — must produce bit-identical schedules and deadline
+// vectors to the retained naive implementation.
+
+func randomDiffDAG(r *rand.Rand, n int, p float64, classes int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 1+r.Intn(2), r.Intn(classes), 0)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustEdge(graph.NodeID(i), graph.NodeID(j), r.Intn(3), 0)
+			}
+		}
+	}
+	return g
+}
+
+func sameSchedule(a, b *sched.Schedule) bool {
+	if a.G.Len() != b.G.Len() {
+		return false
+	}
+	for v := 0; v < a.G.Len(); v++ {
+		if a.Start[v] != b.Start[v] || a.Unit[v] != b.Unit[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialDelayIdleSlotsMatchesReference(t *testing.T) {
+	cases := []struct {
+		m       *machine.Machine
+		classes int
+	}{
+		{machine.SingleUnit(4), 3},
+		{machine.RS6000(4), 3},
+		{machine.Superscalar(2, 4), 1},
+	}
+	for seed := int64(0); seed < 45; seed++ {
+		cs := cases[seed%int64(len(cases))]
+		r := rand.New(rand.NewSource(seed))
+		g := randomDiffDAG(r, 2+r.Intn(16), 0.3, cs.classes)
+		res, err := rank.Run(g, cs.m, rank.UniformDeadlines(g.Len(), rank.Big), nil)
+		if err != nil {
+			t.Fatalf("seed %d: rank: %v", seed, err)
+		}
+		d := rank.UniformDeadlines(g.Len(), res.S.Makespan())
+
+		wantS, wantD, err := ReferenceDelayIdleSlots(res.S, cs.m, d, nil)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		gotS, gotD, err := DelayIdleSlots(res.S, cs.m, d, nil)
+		if err != nil {
+			t.Fatalf("seed %d: optimized: %v", seed, err)
+		}
+		if !sameSchedule(gotS, wantS) {
+			t.Fatalf("seed %d on %s: schedules differ\n got %v/%v\n want %v/%v",
+				seed, cs.m.Name, gotS.Start, gotS.Unit, wantS.Start, wantS.Unit)
+		}
+		for v := range gotD {
+			if gotD[v] != wantD[v] {
+				t.Fatalf("seed %d on %s: deadlines differ at %d: %d vs %d",
+					seed, cs.m.Name, v, gotD[v], wantD[v])
+			}
+		}
+	}
+}
+
+func TestDifferentialMoveIdleSlotMatchesReference(t *testing.T) {
+	// Exercise single moves on every idle slot of every unit, not just the
+	// left-to-right sweep Delay_Idle_Slots performs.
+	m := machine.SingleUnit(4)
+	for seed := int64(500); seed < 540; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDiffDAG(r, 3+r.Intn(12), 0.35, 1)
+		res, err := rank.Run(g, m, rank.UniformDeadlines(g.Len(), rank.Big), nil)
+		if err != nil {
+			t.Fatalf("seed %d: rank: %v", seed, err)
+		}
+		d := rank.UniformDeadlines(g.Len(), res.S.Makespan())
+		for unit := 0; unit < m.TotalUnits(); unit++ {
+			for _, slot := range res.S.IdleSlotsOnUnit(unit) {
+				want, err := ReferenceMoveIdleSlot(res.S, m, d, unit, slot, nil)
+				if err != nil {
+					t.Fatalf("seed %d slot %d: reference: %v", seed, slot, err)
+				}
+				got, err := MoveIdleSlot(res.S, m, d, unit, slot, nil)
+				if err != nil {
+					t.Fatalf("seed %d slot %d: optimized: %v", seed, slot, err)
+				}
+				if got.Moved != want.Moved || got.NewStart != want.NewStart {
+					t.Fatalf("seed %d unit %d slot %d: move (%v,%d) vs reference (%v,%d)",
+						seed, unit, slot, got.Moved, got.NewStart, want.Moved, want.NewStart)
+				}
+				if !sameSchedule(got.S, want.S) {
+					t.Fatalf("seed %d unit %d slot %d: schedules differ", seed, unit, slot)
+				}
+				for v := range got.D {
+					if got.D[v] != want.D[v] {
+						t.Fatalf("seed %d unit %d slot %d: deadlines differ at %d", seed, unit, slot, v)
+					}
+				}
+			}
+		}
+	}
+}

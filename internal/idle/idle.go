@@ -13,6 +13,15 @@
 // repeated application provably yields a minimum-makespan schedule whose
 // idle slots each occur as late as possible; for general machines it is the
 // heuristic of §4.2.
+//
+// The pass is the engine's hottest loop — every slot demotion re-runs the
+// Rank Algorithm — so it is built on a shared rank.Ctx: the graph analysis
+// is done once per pass, each demotion re-ranks only the demoted node's
+// ancestors (rank.Ctx.Update), the refill test and the reschedule share one
+// rank computation, and per-unit timelines index tail nodes and idle slots
+// instead of rescanning the schedule. ReferenceMoveIdleSlot and
+// ReferenceDelayIdleSlots retain the naive implementation for differential
+// tests.
 package idle
 
 import (
@@ -42,6 +51,62 @@ type MoveResult struct {
 // constant guards against pathological general-machine behaviour.
 const maxInner = 4
 
+// unitTimeline indexes one unit of a schedule: the node finishing at each
+// time and the idle-slot start times, built in one pass so Move_Idle_Slot's
+// per-iteration tail lookups and slot scans are O(1)/precomputed instead of
+// rescanning all nodes.
+type unitTimeline struct {
+	finish []graph.NodeID // finish[t] = node on the unit finishing at t, or None
+	slots  []int          // idle-slot start times, ascending
+}
+
+// newUnitTimeline builds the timeline of one unit of s in O(n + makespan).
+func newUnitTimeline(s *sched.Schedule, unit int) *unitTimeline {
+	T := s.Makespan()
+	tl := &unitTimeline{finish: make([]graph.NodeID, T+1)}
+	for i := range tl.finish {
+		tl.finish[i] = graph.None
+	}
+	busy := make([]bool, T)
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Start[v] == sched.Unassigned || s.Unit[v] != unit {
+			continue
+		}
+		f := s.Finish(graph.NodeID(v))
+		if f >= 0 && f < len(tl.finish) {
+			tl.finish[f] = graph.NodeID(v)
+		}
+		for t := s.Start[v]; t < f && t < T; t++ {
+			busy[t] = true
+		}
+	}
+	for t := 0; t < T; t++ {
+		if !busy[t] {
+			tl.slots = append(tl.slots, t)
+		}
+	}
+	return tl
+}
+
+// tail returns the node finishing exactly at time t on the unit, or None.
+func (tl *unitTimeline) tail(t int) graph.NodeID {
+	if t < 0 || t >= len(tl.finish) {
+		return graph.None
+	}
+	return tl.finish[t]
+}
+
+// slotOrdinal returns the index of the idle slot starting at t among slots,
+// or -1.
+func slotOrdinal(slots []int, t int) int {
+	for i, st := range slots {
+		if st == t {
+			return i
+		}
+	}
+	return -1
+}
+
 // MoveIdleSlot is Procedure Move_Idle_Slot (paper Figure 4) for the idle
 // slot starting at time t on the given unit of schedule s, under deadlines
 // d. tie is the rank-tie-break order (nil = program order).
@@ -58,17 +123,37 @@ func MoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, t
 
 // MoveIdleSlotT is MoveIdleSlot with optional tracing: every tail-deadline
 // demotion emits a KindDeadlineTighten event (the slot's start time in
-// Cycle, the deadline change in From→To).
+// Cycle, the deadline change in From→To). Builds a throwaway rank context;
+// passes moving many slots of one schedule should go through
+// DelayIdleSlotsCtx.
 func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID, tr obs.Tracer) (*MoveResult, error) {
+	c, err := rank.NewCtx(s.G, m)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := moveIdleSlot(c, s, d, unit, t, tie, tr, nil)
+	return res, err
+}
+
+// moveIdleSlot is the engine behind MoveIdleSlotT: it reuses the shared rank
+// context, keeps ranks incrementally updated across demotions (only the
+// demoted tail's ancestors are re-ranked), shares the rank computation
+// between the refill test and the reschedule, and accepts/returns the unit
+// timeline of the input/result schedule so Delay_Idle_Slots never rebuilds
+// one it already has.
+func moveIdleSlot(c *rank.Ctx, s *sched.Schedule, d []int, unit, t int, tie []graph.NodeID, tr obs.Tracer, tl *unitTimeline) (*MoveResult, *unitTimeline, error) {
 	g := s.G
 	if len(d) != g.Len() {
-		return nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
+		return nil, nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
 	}
 	fail := &MoveResult{S: s, D: d, Moved: false, NewStart: t}
 
-	ordinal := slotOrdinal(s, unit, t)
+	if tl == nil {
+		tl = newUnitTimeline(s, unit)
+	}
+	ordinal := slotOrdinal(tl.slots, t)
 	if ordinal < 0 {
-		return nil, fmt.Errorf("idle: no idle slot at time %d on unit %d", t, unit)
+		return nil, nil, fmt.Errorf("idle: no idle slot at time %d on unit %d", t, unit)
 	}
 
 	// Tentative deadline state; committed only on success.
@@ -80,17 +165,18 @@ func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, 
 		}
 	}
 
-	cur := s
+	cur, curTL := s, tl
 	oldMakespan := s.Makespan()
+	var ranks []int
 	for iter := 0; iter < g.Len()*maxInner; iter++ {
 		// The tail node a_i: finishes exactly at the slot start on this unit.
-		tail := tailNode(cur, unit, t)
+		tail := curTL.tail(t)
 		if tail == graph.None {
-			return fail, nil // slot preceded by idle time: nothing to demote
+			return fail, tl, nil // slot preceded by idle time: nothing to demote
 		}
 		newDeadline := t - 1
 		if newDeadline < g.Node(tail).Exec {
-			return fail, nil // the tail cannot finish any earlier
+			return fail, tl, nil // the tail cannot finish any earlier
 		}
 		// In a feasible schedule finish(tail) = t ≤ dd[tail], so this always
 		// tightens.
@@ -101,9 +187,16 @@ func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, 
 		}
 		dd[tail] = newDeadline
 
-		ranks, err := rank.Compute(g, m, dd)
-		if err != nil {
-			return nil, err
+		if ranks == nil {
+			var err error
+			ranks, err = c.Compute(dd)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			// Only dd[tail] changed since the previous iteration's ranks:
+			// re-rank just the tail and its ancestors.
+			c.UpdateOne(ranks, dd, tail)
 		}
 		// Failure test of Figure 4: some pre-slot node must still be allowed
 		// to complete at t, otherwise the vacated slot cannot be refilled.
@@ -115,54 +208,35 @@ func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, 
 			}
 		}
 		if !refill {
-			return fail, nil
+			return fail, tl, nil
 		}
 
-		res, err := rank.Run(g, m, dd, tie)
+		// The reschedule shares the ranks the refill test just used.
+		res, err := c.RunRanks(ranks, dd, tie)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !res.Feasible || res.S.Makespan() > oldMakespan {
-			return fail, nil
+			return fail, tl, nil
 		}
-		slots := res.S.IdleSlotsOnUnit(unit)
+		resTL := newUnitTimeline(res.S, unit)
+		slots := resTL.slots
 		if ordinal >= len(slots) {
 			// Slot eliminated (heuristic regime): success.
-			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: -1}, nil
+			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: -1}, resTL, nil
 		}
 		nt := slots[ordinal]
 		switch {
 		case nt > t:
-			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: nt}, nil
+			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: nt}, resTL, nil
 		case nt < t:
 			// Should be impossible given the pre-slot caps; bail out safely.
-			return fail, nil
+			return fail, tl, nil
 		default:
-			cur = res.S // slot unchanged: demote the (possibly new) tail and retry
+			cur, curTL = res.S, resTL // slot unchanged: demote the (possibly new) tail and retry
 		}
 	}
-	return fail, nil
-}
-
-// slotOrdinal returns the index of the idle slot starting at t among the
-// unit's idle slots, or -1.
-func slotOrdinal(s *sched.Schedule, unit, t int) int {
-	for i, st := range s.IdleSlotsOnUnit(unit) {
-		if st == t {
-			return i
-		}
-	}
-	return -1
-}
-
-// tailNode returns the node on the unit that finishes exactly at time t.
-func tailNode(s *sched.Schedule, unit, t int) graph.NodeID {
-	for v := 0; v < s.G.Len(); v++ {
-		if s.Unit[v] == unit && s.Finish(graph.NodeID(v)) == t {
-			return graph.NodeID(v)
-		}
-	}
-	return graph.None
+	return fail, tl, nil
 }
 
 // DelayIdleSlots is procedure Delay_Idle_Slots (paper Figure 6): process the
@@ -179,6 +253,22 @@ func DelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.
 // start in From, new start in To, −1 = slot eliminated) in addition to the
 // per-demotion KindDeadlineTighten events from MoveIdleSlotT.
 func DelayIdleSlotsT(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID, tr obs.Tracer) (*sched.Schedule, []int, error) {
+	c, err := rank.NewCtx(s.G, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DelayIdleSlotsCtx(c, s, d, tie, tr)
+}
+
+// DelayIdleSlotsCtx is DelayIdleSlotsT on a caller-supplied rank context
+// (which must have been built for s.G): Algorithm Lookahead holds one
+// context per merged subgraph and shares it between the merge re-ranks and
+// this pass.
+func DelayIdleSlotsCtx(c *rank.Ctx, s *sched.Schedule, d []int, tie []graph.NodeID, tr obs.Tracer) (*sched.Schedule, []int, error) {
+	if c.Graph() != s.G {
+		return nil, nil, fmt.Errorf("idle: rank context built for a different graph")
+	}
+	m := c.Machine()
 	if tr != nil {
 		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassDelayIdleSlots,
 			Block: -1, Node: graph.None, N: len(s.IdleSlots())})
@@ -186,13 +276,14 @@ func DelayIdleSlotsT(s *sched.Schedule, m *machine.Machine, d []int, tie []graph
 	cur := s
 	dd := append([]int(nil), d...)
 	for unit := 0; unit < m.TotalUnits(); unit++ {
+		tl := newUnitTimeline(cur, unit)
 		ordinal := 0
 		for guard := 0; guard < cur.G.Len()*(cur.Makespan()+2); guard++ {
-			slots := cur.IdleSlotsOnUnit(unit)
+			slots := tl.slots
 			if ordinal >= len(slots) {
 				break
 			}
-			res, err := MoveIdleSlotT(cur, m, dd, unit, slots[ordinal], tie, tr)
+			res, resTL, err := moveIdleSlot(c, cur, dd, unit, slots[ordinal], tie, tr, tl)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -204,6 +295,7 @@ func DelayIdleSlotsT(s *sched.Schedule, m *machine.Machine, d []int, tie []graph
 				}
 				cur = res.S
 				dd = res.D
+				tl = resTL
 				continue // same ordinal: try to push it further
 			}
 			ordinal++

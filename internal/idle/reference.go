@@ -1,0 +1,135 @@
+package idle
+
+import (
+	"fmt"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/rank"
+	"aisched/internal/sched"
+)
+
+// This file retains the original Move_Idle_Slot / Delay_Idle_Slots
+// implementation — full rank recomputation on every demotion (once for the
+// refill test, once for the reschedule) and O(n) schedule rescans — exactly
+// as it stood before the context-based engine replaced it. It exists solely
+// as the naive oracle for the differential property tests; production code
+// must use MoveIdleSlot/DelayIdleSlots or the Ctx variants.
+
+// ReferenceMoveIdleSlot is the retained naive implementation of
+// MoveIdleSlot.
+func ReferenceMoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID) (*MoveResult, error) {
+	g := s.G
+	if len(d) != g.Len() {
+		return nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
+	}
+	fail := &MoveResult{S: s, D: d, Moved: false, NewStart: t}
+
+	ordinal := slotOrdinal(s.IdleSlotsOnUnit(unit), t)
+	if ordinal < 0 {
+		return nil, fmt.Errorf("idle: no idle slot at time %d on unit %d", t, unit)
+	}
+
+	// Tentative deadline state; committed only on success.
+	dd := append([]int(nil), d...)
+	// Step (a): nodes scheduled prior to the slot must stay prior to it.
+	for v := 0; v < g.Len(); v++ {
+		if s.Finish(graph.NodeID(v)) <= t && dd[v] > t {
+			dd[v] = t
+		}
+	}
+
+	cur := s
+	oldMakespan := s.Makespan()
+	for iter := 0; iter < g.Len()*maxInner; iter++ {
+		// The tail node a_i: finishes exactly at the slot start on this unit.
+		tail := referenceTailNode(cur, unit, t)
+		if tail == graph.None {
+			return fail, nil // slot preceded by idle time: nothing to demote
+		}
+		newDeadline := t - 1
+		if newDeadline < g.Node(tail).Exec {
+			return fail, nil // the tail cannot finish any earlier
+		}
+		dd[tail] = newDeadline
+
+		ranks, err := rank.ReferenceCompute(g, m, dd)
+		if err != nil {
+			return nil, err
+		}
+		// Failure test of Figure 4: some pre-slot node must still be allowed
+		// to complete at t, otherwise the vacated slot cannot be refilled.
+		refill := false
+		for v := 0; v < g.Len(); v++ {
+			if cur.Finish(graph.NodeID(v)) <= t && ranks[v] >= t {
+				refill = true
+				break
+			}
+		}
+		if !refill {
+			return fail, nil
+		}
+
+		res, err := rank.ReferenceRun(g, m, dd, tie)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Feasible || res.S.Makespan() > oldMakespan {
+			return fail, nil
+		}
+		slots := res.S.IdleSlotsOnUnit(unit)
+		if ordinal >= len(slots) {
+			// Slot eliminated (heuristic regime): success.
+			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: -1}, nil
+		}
+		nt := slots[ordinal]
+		switch {
+		case nt > t:
+			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: nt}, nil
+		case nt < t:
+			// Should be impossible given the pre-slot caps; bail out safely.
+			return fail, nil
+		default:
+			cur = res.S // slot unchanged: demote the (possibly new) tail and retry
+		}
+	}
+	return fail, nil
+}
+
+// referenceTailNode returns the node on the unit finishing exactly at time t
+// by scanning all nodes (the lookup the unit timeline index replaced).
+func referenceTailNode(s *sched.Schedule, unit, t int) graph.NodeID {
+	for v := 0; v < s.G.Len(); v++ {
+		if s.Unit[v] == unit && s.Finish(graph.NodeID(v)) == t {
+			return graph.NodeID(v)
+		}
+	}
+	return graph.None
+}
+
+// ReferenceDelayIdleSlots is the retained naive implementation of
+// DelayIdleSlots.
+func ReferenceDelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID) (*sched.Schedule, []int, error) {
+	cur := s
+	dd := append([]int(nil), d...)
+	for unit := 0; unit < m.TotalUnits(); unit++ {
+		ordinal := 0
+		for guard := 0; guard < cur.G.Len()*(cur.Makespan()+2); guard++ {
+			slots := cur.IdleSlotsOnUnit(unit)
+			if ordinal >= len(slots) {
+				break
+			}
+			res, err := ReferenceMoveIdleSlot(cur, m, dd, unit, slots[ordinal], tie)
+			if err != nil {
+				return nil, nil, err
+			}
+			if res.Moved {
+				cur = res.S
+				dd = res.D
+				continue // same ordinal: try to push it further
+			}
+			ordinal++
+		}
+	}
+	return cur, dd, nil
+}

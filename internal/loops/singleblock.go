@@ -2,6 +2,8 @@ package loops
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"aisched/internal/graph"
 	"aisched/internal/idle"
@@ -37,11 +39,13 @@ func SingleSourceOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]gr
 	}
 	ynode := g.Node(y)
 	z := gp.AddNode("z'"+ynode.Label, ynode.Exec, ynode.Class, ynode.Block)
-	for _, e := range g.Edges() {
-		if e.Distance == 0 {
-			gp.MustEdge(e.Src, e.Dst, e.Latency, 0)
-		} else {
-			gp.MustEdge(e.Src, z, e.Latency, 0)
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Distance == 0 {
+				gp.MustEdge(e.Src, e.Dst, e.Latency, 0)
+			} else {
+				gp.MustEdge(e.Src, z, e.Latency, 0)
+			}
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -68,11 +72,13 @@ func SingleSinkOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]grap
 		nd := g.Node(graph.NodeID(v))
 		remap[v] = gp.AddNode(nd.Label, nd.Exec, nd.Class, nd.Block)
 	}
-	for _, e := range g.Edges() {
-		if e.Distance == 0 {
-			gp.MustEdge(remap[e.Src], remap[e.Dst], e.Latency, 0)
-		} else {
-			gp.MustEdge(z, remap[e.Dst], e.Latency, 0)
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Distance == 0 {
+				gp.MustEdge(remap[e.Src], remap[e.Dst], e.Latency, 0)
+			} else {
+				gp.MustEdge(z, remap[e.Dst], e.Latency, 0)
+			}
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -91,14 +97,20 @@ func SingleSinkOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]grap
 }
 
 // scheduleAndDrop runs rank_alg + Delay_Idle_Slots on the acyclic graph and
-// returns the schedule's permutation with the dummy node removed.
+// returns the schedule's permutation with the dummy node removed. One rank
+// context serves both the makespan schedule and the whole delay pass.
 func scheduleAndDrop(gp *graph.Graph, m *machine.Machine, dummy graph.NodeID) ([]graph.NodeID, error) {
-	s, err := rank.Makespan(gp, m)
+	c, err := rank.NewCtx(gp, m)
 	if err != nil {
 		return nil, err
 	}
+	res, err := c.Run(rank.UniformDeadlines(gp.Len(), rank.Big), nil)
+	if err != nil {
+		return nil, err
+	}
+	s := res.S
 	d := rank.UniformDeadlines(gp.Len(), s.Makespan())
-	s, _, err = idle.DelayIdleSlots(s, m, d, nil)
+	s, _, err = idle.DelayIdleSlotsCtx(c, s, d, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -117,20 +129,30 @@ func scheduleAndDrop(gp *graph.Graph, m *machine.Machine, dummy graph.NodeID) ([
 // are all ≤ 1 the paper's compile-time reduction applies: only G_li sources
 // (resp. sinks) need be considered.
 func Candidates(g *graph.Graph) (sources, sinks []graph.NodeID) {
+	return candidatesLI(g, nil)
+}
+
+// candidatesLI is Candidates with an optional precomputed loop-independent
+// subgraph (computed on demand when nil).
+func candidatesLI(g, li *graph.Graph) (sources, sinks []graph.NodeID) {
 	srcSet := map[graph.NodeID]bool{}
 	sinkSet := map[graph.NodeID]bool{}
 	maxLat := 0
-	for _, e := range g.Edges() {
-		if e.Latency > maxLat {
-			maxLat = e.Latency
-		}
-		if e.Distance > 0 {
-			srcSet[e.Dst] = true
-			sinkSet[e.Src] = true
+	for v := 0; v < g.Len(); v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Latency > maxLat {
+				maxLat = e.Latency
+			}
+			if e.Distance > 0 {
+				srcSet[e.Dst] = true
+				sinkSet[e.Src] = true
+			}
 		}
 	}
 	if maxLat <= 1 {
-		li := g.LoopIndependent()
+		if li == nil {
+			li = g.LoopIndependent()
+		}
 		liSources := map[graph.NodeID]bool{}
 		for _, s := range li.Sources() {
 			liSources[s] = true
@@ -170,11 +192,78 @@ func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error
 	return ScheduleSingleBlockLoopT(g, m, nil)
 }
 
+// baseOrder computes the baseline candidate: the block-optimal order from
+// the Rank Algorithm + Delay_Idle_Slots on the loop-independent subgraph.
+func baseOrder(li *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+	c, err := rank.NewCtx(li, m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(rank.UniformDeadlines(li.Len(), rank.Big), nil)
+	if err != nil {
+		return nil, err
+	}
+	s := res.S
+	d := rank.UniformDeadlines(li.Len(), s.Makespan())
+	s, _, err = idle.DelayIdleSlotsCtx(c, s, d, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.Permutation(), nil
+}
+
+// candidateWorkers caps the size of the worker pool used by runCandidates.
+// It exists as a variable so tests can force the serial path (≤1) and the
+// race test can pin a specific parallel width.
+var candidateWorkers = func() int { return runtime.GOMAXPROCS(0) }
+
+// runCandidates evaluates fn(i) for i in [0, n) on a bounded worker pool and
+// stores each result (or error) at index i. Candidates are fully independent
+// — each schedules its own private graph copy — so the only shared state is
+// the result slices, written at distinct indices. Callers consume the
+// results in index order, which keeps the observable behaviour (trace event
+// order, best-candidate tie-breaks) identical to the serial loop.
+func runCandidates(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	workers := candidateWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
 // ScheduleSingleBlockLoopT is ScheduleSingleBlockLoop with optional tracing:
 // every candidate evaluation emits a KindIICandidate event (candidate kind
 // "base", "source" or "sink"; the candidate instruction; the achieved II and
 // intra-iteration makespan), bracketed by a pass-start/pass-end pair named
 // obs.PassLoop whose end event carries the best II.
+//
+// Candidates are evaluated concurrently on a GOMAXPROCS-bounded worker pool;
+// each candidate schedules a private graph copy, and results are consumed in
+// candidate order, so the chosen schedule and emitted trace are identical to
+// a serial evaluation.
 func ScheduleSingleBlockLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
 	if g.Len() == 0 {
 		return nil, fmt.Errorf("loops: empty loop body")
@@ -184,47 +273,51 @@ func ScheduleSingleBlockLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer)
 			Block: -1, Node: graph.None, N: g.Len()})
 	}
 	type candidate struct {
-		kind  string
-		node  graph.NodeID
-		order []graph.NodeID
+		kind string
+		node graph.NodeID
+		st   *Steady
 	}
-	var candidates []candidate
-
-	// Baseline: block-optimal order from the Rank Algorithm on G_li.
+	// One loop-independent subgraph serves the candidate enumeration, the
+	// base candidate and every steady-state evaluation; it is only read
+	// after this point, so the worker goroutines can share it.
 	li := g.LoopIndependent()
-	base, err := rank.Makespan(li, m)
-	if err != nil {
-		return nil, err
-	}
-	d := rank.UniformDeadlines(li.Len(), base.Makespan())
-	base, _, err = idle.DelayIdleSlots(base, m, d, nil)
-	if err != nil {
-		return nil, err
-	}
-	candidates = append(candidates, candidate{"base", graph.None, base.Permutation()})
-
-	sources, sinks := Candidates(g)
+	sources, sinks := candidatesLI(g, li)
+	candidates := make([]candidate, 0, 1+len(sources)+len(sinks))
+	candidates = append(candidates, candidate{kind: "base", node: graph.None})
 	for _, y := range sources {
-		order, err := SingleSourceOrder(g, m, y)
-		if err != nil {
-			return nil, err
-		}
-		candidates = append(candidates, candidate{"source", y, order})
+		candidates = append(candidates, candidate{kind: "source", node: y})
 	}
 	for _, y := range sinks {
-		order, err := SingleSinkOrder(g, m, y)
+		candidates = append(candidates, candidate{kind: "sink", node: y})
+	}
+
+	errs := runCandidates(len(candidates), func(i int) error {
+		c := &candidates[i]
+		var order []graph.NodeID
+		var err error
+		switch c.kind {
+		case "base":
+			order, err = baseOrder(li, m)
+		case "source":
+			order, err = SingleSourceOrder(g, m, c.node)
+		default:
+			order, err = SingleSinkOrder(g, m, c.node)
+		}
+		if err != nil {
+			return err
+		}
+		c.st, err = evaluateLI(g, li, m, order)
+		return err
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		candidates = append(candidates, candidate{"sink", y, order})
 	}
 
 	var best *Steady
 	for _, c := range candidates {
-		st, err := Evaluate(g, m, c.order)
-		if err != nil {
-			return nil, err
-		}
+		st := c.st
 		if tr != nil {
 			label := ""
 			if c.node != graph.None {

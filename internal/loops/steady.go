@@ -26,7 +26,13 @@ import (
 // given static order: the greedy schedule over the loop-independent
 // subgraph.
 func BodySchedule(g *graph.Graph, m *machine.Machine, order []graph.NodeID) (*sched.Schedule, error) {
-	li := g.LoopIndependent()
+	return bodyScheduleLI(g, g.LoopIndependent(), m, order)
+}
+
+// bodyScheduleLI is BodySchedule with the loop-independent subgraph supplied
+// by the caller, so candidate evaluations can share one instead of
+// rebuilding it per order.
+func bodyScheduleLI(g, li *graph.Graph, m *machine.Machine, order []graph.NodeID) (*sched.Schedule, error) {
 	s, err := sched.ListSchedule(li, m, order)
 	if err != nil {
 		return nil, err
@@ -46,22 +52,26 @@ func SteadyII(g *graph.Graph, m *machine.Machine, s *sched.Schedule) (int, error
 		return 0, fmt.Errorf("loops: incomplete body schedule")
 	}
 	ii := 1
-	for _, e := range g.Edges() {
-		if e.Distance == 0 {
-			continue
-		}
-		need := s.Start[e.Src] + g.Node(e.Src).Exec + e.Latency - s.Start[e.Dst]
-		// σ(v) + d·II ≥ σ(u)+e+ℓ  ⇒  II ≥ ceil(need / d)
-		if need > 0 {
-			c := (need + e.Distance - 1) / e.Distance
-			if c > ii {
-				ii = c
+	for v := 0; v < g.Len(); v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Distance == 0 {
+				continue
+			}
+			need := s.Start[e.Src] + g.Node(e.Src).Exec + e.Latency - s.Start[e.Dst]
+			// σ(v) + d·II ≥ σ(u)+e+ℓ  ⇒  II ≥ ceil(need / d)
+			if need > 0 {
+				c := (need + e.Distance - 1) / e.Distance
+				if c > ii {
+					ii = c
+				}
 			}
 		}
 	}
 	T := s.Makespan()
+	// One occupancy buffer serves every trial II (each uses a prefix).
+	use := make([]int, m.TotalUnits()*T)
 	for ; ii < T; ii++ {
-		if moduloFeasible(g, m, s, ii) {
+		if moduloFeasible(g, m, s, ii, use[:m.TotalUnits()*ii]) {
 			return ii, nil
 		}
 	}
@@ -69,20 +79,24 @@ func SteadyII(g *graph.Graph, m *machine.Machine, s *sched.Schedule) (int, error
 }
 
 // moduloFeasible reports whether the body schedule's unit occupancy is
-// conflict-free when repeated every ii cycles.
-func moduloFeasible(g *graph.Graph, m *machine.Machine, s *sched.Schedule, ii int) bool {
-	use := make([]int, m.TotalUnits()*ii)
+// conflict-free when repeated every ii cycles. use is caller-provided zeroed
+// scratch of length TotalUnits·ii; it is re-zeroed before returning.
+func moduloFeasible(g *graph.Graph, m *machine.Machine, s *sched.Schedule, ii int, use []int) bool {
+	ok := true
+scan:
 	for v := 0; v < g.Len(); v++ {
 		id := graph.NodeID(v)
 		for t := s.Start[v]; t < s.Finish(id); t++ {
 			slot := s.Unit[v]*ii + t%ii
 			use[slot]++
 			if use[slot] > 1 {
-				return false
+				ok = false
+				break scan
 			}
 		}
 	}
-	return true
+	clear(use)
+	return ok
 }
 
 // Steady summarizes the periodic behaviour of a static loop-body order.
@@ -104,7 +118,13 @@ func (st *Steady) CompletionN(n int) int {
 
 // Evaluate computes the periodic steady state of a loop-body order.
 func Evaluate(g *graph.Graph, m *machine.Machine, order []graph.NodeID) (*Steady, error) {
-	s, err := BodySchedule(g, m, order)
+	return evaluateLI(g, g.LoopIndependent(), m, order)
+}
+
+// evaluateLI is Evaluate with a caller-supplied loop-independent subgraph;
+// the candidate search shares one li across all its evaluations.
+func evaluateLI(g, li *graph.Graph, m *machine.Machine, order []graph.NodeID) (*Steady, error) {
+	s, err := bodyScheduleLI(g, li, m, order)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,381 @@
+package rank
+
+import (
+	"fmt"
+	"slices"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/sched"
+)
+
+// Ctx is a reusable rank-computation context for one (graph, machine) pair.
+// It caches every per-graph invariant the Rank Algorithm needs — topological
+// order and positions, descendant bitsets, per-node descendant lists
+// pre-sorted by topological position, effective unit classes — and owns the
+// scratch buffers (longest-path deltas, descendant packing entries,
+// slice-based occupancy windows, list-building arrays, a reusable greedy
+// list scheduler) that the one-shot API used to reallocate on every call.
+//
+// Anticipatory scheduling calls the Rank Algorithm hundreds of times per
+// basic block on the same graph with slightly different deadlines
+// (Delay_Idle_Slots demotes one deadline per re-rank; merge loosens the new
+// nodes' deadlines by one per round), so callers that hold a Ctx pay the
+// graph analysis once and each re-rank touches only scratch memory. Update
+// additionally makes those re-ranks incremental: only the changed nodes and
+// their ancestors are recomputed.
+//
+// A Ctx is not safe for concurrent use; create one per goroutine.
+type Ctx struct {
+	g *graph.Graph
+	m *machine.Machine
+
+	order   []graph.NodeID // topological order over distance-0 edges
+	topoPos []int          // topoPos[v] = index of v in order
+	desc    []graph.Bitset // distance-0 transitive successors per node
+	members [][]graph.NodeID // desc[v] as a list sorted by topological position
+
+	class    []int // effective unit class per node (0 on single-unit machines)
+	unitsFor []int // usable units per effective class (0 mapped to 1)
+
+	// Scratch, reused across calls.
+	delta  []int          // longest path finish(v)⇝start(u) per descendant
+	ds     []descendant   // packing entries for the node being ranked
+	occ    [][]int        // per-class occupancy window for packFeasible
+	pos    []int          // tie-position scratch for list building
+	list   []graph.NodeID // priority-list scratch
+	oneBit graph.Bitset   // single-node changed set for UpdateOne
+	source []graph.NodeID // cached default tie order (program order)
+
+	ls *sched.ListScheduler
+}
+
+// NewCtx analyses g once (topological order, descendant closure, per-node
+// descendant lists, unit-class mapping) and returns a context whose Compute,
+// Update and RunRanks reuse that analysis. Fails if the loop-independent
+// subgraph is cyclic.
+func NewCtx(g *graph.Graph, m *machine.Machine) (*Ctx, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// The successful topological sort establishes acyclicity, so the
+	// descendant closure and list scheduler skip their own validation.
+	desc := g.DescendantsFrom(order)
+	ls := sched.NewListSchedulerAcyclic(g, m)
+	n := g.Len()
+	c := &Ctx{
+		g:       g,
+		m:       m,
+		order:   order,
+		topoPos: make([]int, n),
+		desc:    desc,
+		members: make([][]graph.NodeID, n),
+		class:   make([]int, n),
+		delta:   make([]int, n),
+		pos:     make([]int, n),
+		list:    make([]graph.NodeID, n),
+		ls:      ls,
+	}
+	for i, id := range order {
+		c.topoPos[id] = i
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += desc[v].Count()
+	}
+	backing := make([]graph.NodeID, 0, total)
+	for v := 0; v < n; v++ {
+		start := len(backing)
+		desc[v].ForEach(func(u int) { backing = append(backing, graph.NodeID(u)) })
+		mem := backing[start:len(backing):len(backing)]
+		// Topological positions are a permutation, so this sort has no ties
+		// and any sorting algorithm yields the same deterministic order.
+		slices.SortFunc(mem, func(a, b graph.NodeID) int { return c.topoPos[a] - c.topoPos[b] })
+		c.members[v] = mem
+	}
+	maxClass := 0
+	single := m.SingleUnitOnly()
+	for v := 0; v < n; v++ {
+		cls := g.Node(graph.NodeID(v)).Class
+		if single {
+			cls = 0
+		}
+		c.class[v] = cls
+		if cls > maxClass {
+			maxClass = cls
+		}
+	}
+	c.unitsFor = make([]int, maxClass+1)
+	for cls := range c.unitsFor {
+		u := m.UnitsFor(machine.UnitClass(cls))
+		if u == 0 {
+			u = 1 // unschedulable classes are caught by the list scheduler
+		}
+		c.unitsFor[cls] = u
+	}
+	c.occ = make([][]int, maxClass+1)
+	return c, nil
+}
+
+// Graph returns the graph this context was built for.
+func (c *Ctx) Graph() *graph.Graph { return c.g }
+
+// Machine returns the machine this context was built for.
+func (c *Ctx) Machine() *machine.Machine { return c.m }
+
+// Compute returns rank(v) for every node under deadlines d (see the
+// package-level Compute for the definition). The returned slice is freshly
+// allocated and owned by the caller; feed it back to Update for incremental
+// re-ranking and to RunRanks for scheduling.
+func (c *Ctx) Compute(d []int) ([]int, error) {
+	n := c.g.Len()
+	if len(d) != n {
+		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), n)
+	}
+	ranks := make([]int, n)
+	copy(ranks, d)
+	for i := n - 1; i >= 0; i-- {
+		v := c.order[i]
+		if len(c.members[v]) != 0 {
+			c.rankNode(v, d, ranks)
+		}
+	}
+	return ranks, nil
+}
+
+// Update incrementally re-establishes ranks in place after the deadlines of
+// the nodes in changed were modified: ranks must hold the output of a
+// previous Compute/Update against a deadline vector differing from d only on
+// changed nodes. rank(v) depends solely on d[v] and the ranks of v's
+// descendants, so only changed nodes and their ancestors can change; Update
+// recomputes exactly that topological suffix (typically a small fraction of
+// the graph for the single-deadline demotions of Move_Idle_Slot).
+func (c *Ctx) Update(ranks, d []int, changed graph.Bitset) {
+	hi := -1
+	changed.ForEach(func(u int) {
+		if p := c.topoPos[u]; p > hi {
+			hi = p
+		}
+	})
+	for i := hi; i >= 0; i-- {
+		v := c.order[i]
+		if changed.Has(int(v)) || c.desc[v].Intersects(changed) {
+			c.rankNode(v, d, ranks)
+		}
+	}
+}
+
+// UpdateOne is Update for a single changed node.
+func (c *Ctx) UpdateOne(ranks, d []int, v graph.NodeID) {
+	if c.oneBit == nil {
+		c.oneBit = graph.NewBitset(c.g.Len())
+	}
+	c.oneBit.Set(int(v))
+	c.Update(ranks, d, c.oneBit)
+	c.oneBit.Clear(int(v))
+}
+
+// rankNode recomputes ranks[v] from d[v] and the current ranks of v's
+// descendants: the per-ancestor step of the Compute sweep.
+func (c *Ctx) rankNode(v graph.NodeID, d, ranks []int) {
+	mem := c.members[v]
+	if len(mem) == 0 {
+		ranks[v] = d[v]
+		return
+	}
+	g := c.g
+	delta := c.delta
+	// delta(u) = max over distance-0 in-edges (p → u) with p ∈ {v} ∪
+	// descendants(v) of (0 if p==v else delta(p)+exec(p)) + latency.
+	// Evaluated in global topological order restricted to descendants.
+	for _, u := range mem {
+		delta[u] = -1
+	}
+	dv := c.desc[v]
+	for _, e := range g.Out(v) {
+		if e.Distance == 0 && dv.Has(int(e.Dst)) && e.Latency > delta[e.Dst] {
+			delta[e.Dst] = e.Latency
+		}
+	}
+	for _, u := range mem {
+		du := delta[u]
+		exec := g.Node(u).Exec
+		for _, e := range g.Out(u) {
+			if e.Distance != 0 || !dv.Has(int(e.Dst)) {
+				continue
+			}
+			if cand := du + exec + e.Latency; cand > delta[e.Dst] {
+				delta[e.Dst] = cand
+			}
+		}
+	}
+	ds := c.ds[:0]
+	for _, u := range mem {
+		ds = append(ds, descendant{
+			rank:  ranks[u],
+			exec:  g.Node(u).Exec,
+			class: c.class[u],
+			lat:   delta[u],
+			pos:   c.topoPos[u],
+		})
+	}
+	c.ds = ds[:0] // keep the (possibly grown) backing array
+	// EDF exactness wants nondecreasing rank order; break ties by release
+	// (latency) then topological position so the order is a deterministic
+	// total order shared with the reference implementation.
+	slices.SortFunc(ds, compareDescendants)
+	// Necessary upper bounds narrow the search range.
+	hi := d[v]
+	total, maxLat, maxExec := 0, 0, 0
+	for _, u := range ds {
+		if b := u.rank - u.exec - u.lat; b < hi {
+			hi = b
+		}
+		total += u.exec
+		if u.lat > maxLat {
+			maxLat = u.lat
+		}
+		if u.exec > maxExec {
+			maxExec = u.exec
+		}
+	}
+	// Earliest-fit never places past lat + sum(exec), so this window bounds
+	// every occupancy index the packing can touch.
+	window := total + maxLat + maxExec + 4
+	// At lo the releases leave ample slack below every deadline, so
+	// infeasibility at lo means the descendants' ranks conflict on their own
+	// (no completion time of v can help).
+	lo := hi - 2*(total+maxLat+2)
+	if !c.packFeasible(ds, lo, window) {
+		ranks[v] = lo // hopelessly infeasible; surfaces as rank < exec
+		return
+	}
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if c.packFeasible(ds, mid, window) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	ranks[v] = lo
+}
+
+// compareDescendants orders packing entries by nondecreasing rank, ties by
+// larger release latency, then by topological position. The final key makes
+// the order total, so the optimized and reference implementations sort
+// identically regardless of sorting algorithm.
+func compareDescendants(a, b descendant) int {
+	if a.rank != b.rank {
+		return a.rank - b.rank
+	}
+	if a.lat != b.lat {
+		return b.lat - a.lat
+	}
+	return a.pos - b.pos
+}
+
+// packFeasible reports whether all descendants (sorted by nondecreasing
+// rank) can be placed when their ancestor completes at time at: each is
+// placed at the earliest free position ≥ at + lat on its class pool and must
+// finish by its rank. Occupancy is tracked in per-class slice windows
+// indexed by t − at + 1 (the +1 absorbs a defensive −1 release), reused and
+// cleared across calls — the one-shot implementation allocated two maps per
+// feasibility probe. Exact for unit execution times (EDF exchange argument);
+// earliest-fit heuristic for longer instructions.
+func (c *Ctx) packFeasible(ds []descendant, at, window int) bool {
+	for cls := range c.occ {
+		clear(c.occ[cls])
+	}
+	for _, u := range ds {
+		if len(c.occ[u.class]) < window {
+			c.occ[u.class] = make([]int, window)
+		}
+	}
+	for _, u := range ds {
+		units := c.unitsFor[u.class]
+		occ := c.occ[u.class]
+		start := u.lat + 1 // index of absolute time at + u.lat
+	place:
+		for {
+			end := start + u.exec
+			for end > len(occ) {
+				occ = append(occ, 0)
+			}
+			for t := start; t < end; t++ {
+				if occ[t] >= units {
+					start = t + 1
+					continue place
+				}
+			}
+			break
+		}
+		if at+(start-1)+u.exec > u.rank {
+			return false
+		}
+		for t := start; t < start+u.exec; t++ {
+			occ[t]++
+		}
+		c.occ[u.class] = occ
+	}
+	return true
+}
+
+// RunRanks greedily schedules in nondecreasing rank order (the second half
+// of rank_alg) using precomputed ranks, and reports deadline feasibility
+// against d. This is how Move_Idle_Slot shares one rank computation between
+// its refill test and the actual reschedule. The Result's Ranks field
+// aliases the input slice.
+func (c *Ctx) RunRanks(ranks, d []int, tie []graph.NodeID) (*Result, error) {
+	if tie == nil {
+		if c.source == nil {
+			c.source = sched.SourceOrder(c.g)
+		}
+		tie = c.source
+	}
+	list := c.buildList(ranks, tie)
+	s, err := c.ls.Run(list)
+	if err != nil {
+		return nil, err
+	}
+	feasible := true
+	for v := 0; v < c.g.Len(); v++ {
+		if ranks[v] < c.g.Node(graph.NodeID(v)).Exec {
+			feasible = false
+			break
+		}
+		if s.Finish(graph.NodeID(v)) > d[v] {
+			feasible = false
+			break
+		}
+	}
+	return &Result{S: s, Ranks: ranks, Feasible: feasible}, nil
+}
+
+// Run executes the full rank_alg through the context: Compute then RunRanks.
+func (c *Ctx) Run(d []int, tie []graph.NodeID) (*Result, error) {
+	ranks, err := c.Compute(d)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunRanks(ranks, d, tie)
+}
+
+// buildList is ListFromRanks on the context's scratch: nondecreasing rank,
+// ties by position in tie. The returned slice is valid until the next call.
+func (c *Ctx) buildList(ranks []int, tie []graph.NodeID) []graph.NodeID {
+	pos := c.pos
+	for i, id := range tie {
+		pos[id] = i
+	}
+	list := c.list[:len(tie)]
+	copy(list, tie)
+	slices.SortStableFunc(list, func(a, b graph.NodeID) int {
+		if ranks[a] != ranks[b] {
+			return ranks[a] - ranks[b]
+		}
+		return pos[a] - pos[b]
+	})
+	return list
+}

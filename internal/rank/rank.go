@@ -9,6 +9,15 @@
 // under deadlines). For general machines (§4.2) the same computation is a
 // heuristic: ranks are derived by inserting each descendant whole into a
 // per-class backward schedule at the latest time no later than its rank.
+//
+// The engine is built around Ctx, a reusable per-graph context that caches
+// the topological order, descendant closure and packing scratch, and that
+// supports incremental re-ranking after deadline changes (Update). The
+// package-level Compute/Run helpers build a throwaway context; hot paths
+// (Delay_Idle_Slots, Algorithm Lookahead, the loop candidate search) hold
+// one Ctx per graph and reuse it across every re-rank. ReferenceCompute and
+// ReferenceRun retain the original one-shot implementation as the oracle for
+// differential tests.
 package rank
 
 import (
@@ -47,164 +56,30 @@ func UniformDeadlines(n, d int) []int {
 // execution times; a faithful heuristic for the general machines of §4.2),
 // and c is found by binary search — feasibility is monotone in c. This
 // reproduces every rank value printed in the paper's §2 examples.
+//
+// Compute builds a throwaway Ctx; callers ranking the same graph repeatedly
+// should hold their own.
 func Compute(g *graph.Graph, m *machine.Machine, d []int) ([]int, error) {
-	n := g.Len()
-	if len(d) != n {
-		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), n)
+	if len(d) != g.Len() {
+		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), g.Len())
 	}
-	order, err := g.TopoOrder()
+	c, err := NewCtx(g, m)
 	if err != nil {
 		return nil, err
 	}
-	desc, err := g.Descendants()
-	if err != nil {
-		return nil, err
-	}
-	ranks := make([]int, n)
-	for i := range ranks {
-		ranks[i] = d[i]
-	}
-
-	// topoPos[v] = position of v in the topological order, used to evaluate
-	// the per-ancestor longest-path DP in one forward sweep.
-	topoPos := make([]int, n)
-	for i, id := range order {
-		topoPos[id] = i
-	}
-
-	delta := make([]int, n) // scratch: longest path v⇝u (finish(v) to start(u))
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		if desc[v].Empty() {
-			continue
-		}
-		// delta(u) = max over distance-0 in-edges (p → u) with p ∈ {v} ∪
-		// descendants(v) of (0 if p==v else delta(p)+exec(p)) + latency.
-		// Evaluated in global topological order restricted to descendants.
-		var members []graph.NodeID
-		desc[v].ForEach(func(u int) { members = append(members, graph.NodeID(u)) })
-		sort.Slice(members, func(a, b int) bool { return topoPos[members[a]] < topoPos[members[b]] })
-		for _, u := range members {
-			delta[u] = -1
-		}
-		for _, e := range g.Out(v) {
-			if e.Distance == 0 && desc[v].Has(int(e.Dst)) && e.Latency > delta[e.Dst] {
-				delta[e.Dst] = e.Latency
-			}
-		}
-		for _, u := range members {
-			du := delta[u]
-			for _, e := range g.Out(u) {
-				if e.Distance != 0 || !desc[v].Has(int(e.Dst)) {
-					continue
-				}
-				if cand := du + g.Node(u).Exec + e.Latency; cand > delta[e.Dst] {
-					delta[e.Dst] = cand
-				}
-			}
-		}
-		ds := make([]descendant, 0, len(members))
-		for _, u := range members {
-			ds = append(ds, descendant{
-				rank:  ranks[u],
-				exec:  g.Node(u).Exec,
-				class: machine.UnitClass(g.Node(u).Class),
-				lat:   delta[u],
-			})
-		}
-		// EDF exactness wants nondecreasing rank order; break ties by
-		// release (latency) then arbitrary.
-		sort.Slice(ds, func(a, b int) bool {
-			if ds[a].rank != ds[b].rank {
-				return ds[a].rank < ds[b].rank
-			}
-			return ds[a].lat > ds[b].lat
-		})
-		// Necessary upper bounds narrow the search range.
-		hi := ranks[v]
-		total := 0
-		maxLat := 0
-		for _, u := range ds {
-			if b := u.rank - u.exec - u.lat; b < hi {
-				hi = b
-			}
-			total += u.exec
-			if u.lat > maxLat {
-				maxLat = u.lat
-			}
-		}
-		// At lo the releases leave ample slack below every deadline, so
-		// infeasibility at lo means the descendants' ranks conflict on their
-		// own (no completion time of v can help).
-		lo := hi - 2*(total+maxLat+2)
-		if !packFeasible(ds, m, lo) {
-			ranks[v] = lo // hopelessly infeasible; surfaces as rank < exec
-			continue
-		}
-		for lo < hi {
-			mid := lo + (hi-lo+1)/2
-			if packFeasible(ds, m, mid) {
-				lo = mid
-			} else {
-				hi = mid - 1
-			}
-		}
-		ranks[v] = lo
-	}
-	return ranks, nil
+	return c.Compute(d)
 }
 
 // descendant is one entry in the rank feasibility test: it must run for exec
 // cycles on a unit of its class, starting no earlier than c + lat, and
-// complete by rank.
+// complete by rank. pos (the topological position of the node) makes the
+// packing order a total order.
 type descendant struct {
 	rank  int
 	exec  int
-	class machine.UnitClass
+	class int
 	lat   int
-}
-
-// packFeasible reports whether all descendants (sorted by nondecreasing
-// rank) can be placed when their ancestor completes at time c: each is
-// placed at the earliest free position ≥ c + lat on its class pool and must
-// finish by its rank. Exact for unit execution times (EDF exchange
-// argument); earliest-fit heuristic for longer instructions.
-func packFeasible(ds []descendant, m *machine.Machine, c int) bool {
-	// occupied[class][t] = number of units of the class busy at time t.
-	occupied := map[machine.UnitClass]map[int]int{}
-	for _, u := range ds {
-		cls := u.class
-		if m.SingleUnitOnly() {
-			cls = 0
-		}
-		units := m.UnitsFor(cls)
-		if units == 0 {
-			units = 1 // unschedulable classes are caught by the list scheduler
-		}
-		occ := occupied[cls]
-		if occ == nil {
-			occ = map[int]int{}
-			occupied[cls] = occ
-		}
-		start := c + u.lat
-	place:
-		for {
-			for t := start; t < start+u.exec; t++ {
-				if occ[t] >= units {
-					start = t + 1
-					continue place
-				}
-			}
-			break
-		}
-		if start+u.exec > u.rank {
-			return false
-		}
-		for t := start; t < start+u.exec; t++ {
-			occ[t]++
-		}
-	}
-	return true
+	pos   int
 }
 
 // ListFromRanks builds the rank-ordered priority list: nondecreasing rank,
@@ -239,32 +114,17 @@ type Result struct {
 
 // Run executes the full rank_alg: compute ranks under deadlines d, schedule
 // greedily in nondecreasing rank order (ties broken by tie order, defaulting
-// to program order), and report deadline feasibility.
+// to program order), and report deadline feasibility. Builds a throwaway
+// Ctx; hot paths should hold their own.
 func Run(g *graph.Graph, m *machine.Machine, d []int, tie []graph.NodeID) (*Result, error) {
-	ranks, err := Compute(g, m, d)
+	if len(d) != g.Len() {
+		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), g.Len())
+	}
+	c, err := NewCtx(g, m)
 	if err != nil {
 		return nil, err
 	}
-	if tie == nil {
-		tie = sched.SourceOrder(g)
-	}
-	list := ListFromRanks(g, ranks, tie)
-	s, err := sched.ListSchedule(g, m, list)
-	if err != nil {
-		return nil, err
-	}
-	feasible := true
-	for v := 0; v < g.Len(); v++ {
-		if ranks[v] < g.Node(graph.NodeID(v)).Exec {
-			feasible = false
-			break
-		}
-		if s.Finish(graph.NodeID(v)) > d[v] {
-			feasible = false
-			break
-		}
-	}
-	return &Result{S: s, Ranks: ranks, Feasible: feasible}, nil
+	return c.Run(d, tie)
 }
 
 // Makespan is a convenience wrapper: minimum-makespan schedule of g on m by

@@ -1,0 +1,190 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/sched"
+)
+
+// This file retains the original one-shot Rank Algorithm implementation —
+// per-call topological sort, descendant closure and map-based occupancy —
+// exactly as it stood before the Ctx engine replaced it on the hot paths.
+// It exists solely as the naive oracle for the differential property tests
+// (its results must be bit-identical to Ctx.Compute/Ctx.Run on every input);
+// production code must use Compute/Run or a Ctx.
+
+// ReferenceCompute is the retained naive implementation of Compute.
+func ReferenceCompute(g *graph.Graph, m *machine.Machine, d []int) ([]int, error) {
+	n := g.Len()
+	if len(d) != n {
+		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), n)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	desc, err := g.Descendants()
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = d[i]
+	}
+
+	// topoPos[v] = position of v in the topological order, used to evaluate
+	// the per-ancestor longest-path DP in one forward sweep.
+	topoPos := make([]int, n)
+	for i, id := range order {
+		topoPos[id] = i
+	}
+
+	delta := make([]int, n) // scratch: longest path v⇝u (finish(v) to start(u))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if desc[v].Empty() {
+			continue
+		}
+		// delta(u) = max over distance-0 in-edges (p → u) with p ∈ {v} ∪
+		// descendants(v) of (0 if p==v else delta(p)+exec(p)) + latency.
+		// Evaluated in global topological order restricted to descendants.
+		var members []graph.NodeID
+		desc[v].ForEach(func(u int) { members = append(members, graph.NodeID(u)) })
+		sort.Slice(members, func(a, b int) bool { return topoPos[members[a]] < topoPos[members[b]] })
+		for _, u := range members {
+			delta[u] = -1
+		}
+		for _, e := range g.Out(v) {
+			if e.Distance == 0 && desc[v].Has(int(e.Dst)) && e.Latency > delta[e.Dst] {
+				delta[e.Dst] = e.Latency
+			}
+		}
+		for _, u := range members {
+			du := delta[u]
+			for _, e := range g.Out(u) {
+				if e.Distance != 0 || !desc[v].Has(int(e.Dst)) {
+					continue
+				}
+				if cand := du + g.Node(u).Exec + e.Latency; cand > delta[e.Dst] {
+					delta[e.Dst] = cand
+				}
+			}
+		}
+		single := m.SingleUnitOnly()
+		ds := make([]descendant, 0, len(members))
+		for _, u := range members {
+			cls := g.Node(u).Class
+			if single {
+				cls = 0
+			}
+			ds = append(ds, descendant{
+				rank:  ranks[u],
+				exec:  g.Node(u).Exec,
+				class: cls,
+				lat:   delta[u],
+				pos:   topoPos[u],
+			})
+		}
+		// Same deterministic total order as the Ctx engine (rank, then
+		// release latency, then topological position).
+		sort.Slice(ds, func(a, b int) bool { return compareDescendants(ds[a], ds[b]) < 0 })
+		// Necessary upper bounds narrow the search range.
+		hi := ranks[v]
+		total := 0
+		maxLat := 0
+		for _, u := range ds {
+			if b := u.rank - u.exec - u.lat; b < hi {
+				hi = b
+			}
+			total += u.exec
+			if u.lat > maxLat {
+				maxLat = u.lat
+			}
+		}
+		// At lo the releases leave ample slack below every deadline, so
+		// infeasibility at lo means the descendants' ranks conflict on their
+		// own (no completion time of v can help).
+		lo := hi - 2*(total+maxLat+2)
+		if !referencePackFeasible(ds, m, lo) {
+			ranks[v] = lo // hopelessly infeasible; surfaces as rank < exec
+			continue
+		}
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			if referencePackFeasible(ds, m, mid) {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		ranks[v] = lo
+	}
+	return ranks, nil
+}
+
+// referencePackFeasible is the retained map-based occupancy packing test.
+func referencePackFeasible(ds []descendant, m *machine.Machine, c int) bool {
+	// occupied[class][t] = number of units of the class busy at time t.
+	occupied := map[int]map[int]int{}
+	for _, u := range ds {
+		units := m.UnitsFor(machine.UnitClass(u.class))
+		if units == 0 {
+			units = 1 // unschedulable classes are caught by the list scheduler
+		}
+		occ := occupied[u.class]
+		if occ == nil {
+			occ = map[int]int{}
+			occupied[u.class] = occ
+		}
+		start := c + u.lat
+	place:
+		for {
+			for t := start; t < start+u.exec; t++ {
+				if occ[t] >= units {
+					start = t + 1
+					continue place
+				}
+			}
+			break
+		}
+		if start+u.exec > u.rank {
+			return false
+		}
+		for t := start; t < start+u.exec; t++ {
+			occ[t]++
+		}
+	}
+	return true
+}
+
+// ReferenceRun is the retained naive implementation of Run: ReferenceCompute
+// followed by the one-shot list builder and scheduler.
+func ReferenceRun(g *graph.Graph, m *machine.Machine, d []int, tie []graph.NodeID) (*Result, error) {
+	ranks, err := ReferenceCompute(g, m, d)
+	if err != nil {
+		return nil, err
+	}
+	if tie == nil {
+		tie = sched.SourceOrder(g)
+	}
+	list := ListFromRanks(g, ranks, tie)
+	s, err := sched.ListSchedule(g, m, list)
+	if err != nil {
+		return nil, err
+	}
+	feasible := true
+	for v := 0; v < g.Len(); v++ {
+		if ranks[v] < g.Node(graph.NodeID(v)).Exec {
+			feasible = false
+			break
+		}
+		if s.Finish(graph.NodeID(v)) > d[v] {
+			feasible = false
+			break
+		}
+	}
+	return &Result{S: s, Ranks: ranks, Feasible: feasible}, nil
+}

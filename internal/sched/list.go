@@ -24,36 +24,91 @@ import (
 // returned if the list is malformed or the graph's loop-independent subgraph
 // is cyclic.
 func ListSchedule(g *graph.Graph, m *machine.Machine, priority []graph.NodeID) (*Schedule, error) {
+	ls, err := NewListScheduler(g, m)
+	if err != nil {
+		return nil, err
+	}
+	return ls.Run(priority)
+}
+
+// ListScheduler runs the greedy list scheduler repeatedly over one graph and
+// machine, validating acyclicity once and reusing the readiness scratch
+// between runs. It is the allocation-free core behind ListSchedule; the Rank
+// Algorithm context (internal/rank) holds one per graph so the hundreds of
+// reschedules of a Delay_Idle_Slots pass share the same buffers.
+type ListScheduler struct {
+	g *graph.Graph
+	m *machine.Machine
+	// indeg is the distance-0 in-degree template copied into remaining at
+	// the start of every run.
+	indeg     []int
+	earliest  []int
+	remaining []int
+	unitFree  []int
+	seen      []bool
+}
+
+// NewListScheduler validates that g's loop-independent subgraph is acyclic
+// and returns a scheduler whose Run can be called any number of times.
+func NewListScheduler(g *graph.Graph, m *machine.Machine) (*ListScheduler, error) {
+	if !g.IsAcyclic() {
+		return nil, fmt.Errorf("sched: loop-independent subgraph is cyclic")
+	}
+	return NewListSchedulerAcyclic(g, m), nil
+}
+
+// NewListSchedulerAcyclic is NewListScheduler for callers that have already
+// established that g's loop-independent subgraph is acyclic (typically by
+// computing a topological order), skipping the redundant validation pass.
+// Run on a cyclic graph never terminates; use NewListScheduler when in doubt.
+func NewListSchedulerAcyclic(g *graph.Graph, m *machine.Machine) *ListScheduler {
+	n := g.Len()
+	ls := &ListScheduler{
+		g:         g,
+		m:         m,
+		indeg:     make([]int, n),
+		earliest:  make([]int, n),
+		remaining: make([]int, n),
+		unitFree:  make([]int, m.TotalUnits()),
+		seen:      make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.In(graph.NodeID(v)) {
+			if e.Distance == 0 {
+				ls.indeg[v]++
+			}
+		}
+	}
+	return ls
+}
+
+// Run greedily schedules the priority list (see ListSchedule). Only the
+// returned Schedule is freshly allocated; all bookkeeping is reused.
+func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
+	g, m := ls.g, ls.m
 	n := g.Len()
 	if len(priority) != n {
 		return nil, fmt.Errorf("sched: priority list has %d entries for %d nodes", len(priority), n)
 	}
-	seen := make([]bool, n)
+	seen := ls.seen
+	clear(seen)
 	for _, id := range priority {
 		if id < 0 || int(id) >= n || seen[id] {
 			return nil, fmt.Errorf("sched: priority list is not a permutation (node %d)", id)
 		}
 		seen[id] = true
 	}
-	if !g.IsAcyclic() {
-		return nil, fmt.Errorf("sched: loop-independent subgraph is cyclic")
-	}
 
 	s := New(g, m)
 	// earliest[v]: max over scheduled preds of finish+latency; -1 per
 	// unsatisfied pred is tracked via remaining count.
-	earliest := make([]int, n)
-	remaining := make([]int, n)
-	for v := 0; v < n; v++ {
-		for _, e := range g.In(graph.NodeID(v)) {
-			if e.Distance == 0 {
-				remaining[v]++
-			}
-		}
-	}
+	earliest := ls.earliest
+	clear(earliest)
+	remaining := ls.remaining
+	copy(remaining, ls.indeg)
 	// unitFree[u]: cycle at which global unit u becomes free.
-	totalUnits := m.TotalUnits()
-	unitFree := make([]int, totalUnits)
+	unitFree := ls.unitFree
+	clear(unitFree)
 
 	scheduled := 0
 	for t := 0; scheduled < n; t++ {

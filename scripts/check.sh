@@ -1,7 +1,8 @@
 #!/bin/sh
-# Full local check: build, vet, tests, and the race detector.
-# Tier-1 (build + go test ./...) is what CI gates on; vet and -race catch
-# what plain tests miss.
+# Full local check: build, vet, tests, the race detector, and the benchmark
+# regression gate. Tier-1 (build + go test ./...) is what CI gates on; vet
+# and -race catch what plain tests miss, and benchsnap -compare enforces the
+# ROADMAP ≤2% regression budget against the committed snapshot.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,4 +14,6 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== benchsnap -compare BENCH_PR2.json"
+go run ./cmd/benchsnap -compare BENCH_PR2.json
 echo "check: OK"
