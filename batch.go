@@ -1,0 +1,322 @@
+package aisched
+
+// Throughput layer: a memoizing Scheduler plus the parallel batch API.
+//
+// Scheduler wraps the package-level entry points (ScheduleBlock,
+// ScheduleTrace, ScheduleLoop) with a content-addressed result cache
+// (internal/memo keyed by graph.Fingerprint): re-submitting the same block —
+// even rebuilt with different labels, edge insertion order, or machine name —
+// returns the memoized schedule without recomputation, and concurrent
+// requests for the same block compute it once. ScheduleBatch fans a slice of
+// scheduling requests over a GOMAXPROCS-bounded worker pool with results in
+// deterministic input order; ScheduleProgram runs the whole front-end →
+// trace-selection → batch-scheduling pipeline for a compiled mini-C program.
+//
+// Determinism guarantee: every result a Scheduler returns is bit-identical
+// to what the corresponding package-level call would return for the same
+// graph and machine — cached or not, serial or batched. Cached values are
+// stored detached (no reference to any caller's graph) and every return is a
+// fresh clone rebound to the calling request's Graph/Machine pointers, so
+// callers may mutate results freely.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aisched/internal/cfg"
+	"aisched/internal/core"
+	"aisched/internal/deps"
+	"aisched/internal/idle"
+	"aisched/internal/loops"
+	"aisched/internal/memo"
+	"aisched/internal/rank"
+)
+
+// CacheCounters is a snapshot of the schedule cache's activity.
+type CacheCounters = memo.Counters
+
+// SchedulerOptions configures a Scheduler. The zero value gives the
+// defaults: a 4096-entry 16-way-sharded cache and GOMAXPROCS batch workers.
+type SchedulerOptions struct {
+	// CacheCapacity is the total cached-result budget (0 = default 4096).
+	// Negative disables caching entirely: every call recomputes.
+	CacheCapacity int
+	// CacheShards is the number of cache lock shards (0 = default 16;
+	// rounded up to a power of two, minimum 16).
+	CacheShards int
+	// Workers bounds ScheduleBatch's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Tracer, when non-nil, receives cache events (hit, miss, evict,
+	// coalesce) for the metrics snapshot. Scheduling passes are not traced
+	// here — use Observer / WithTracer to observe pass internals.
+	Tracer Tracer
+}
+
+// Scheduler is a caching, batch-capable front door to the schedulers. Safe
+// for concurrent use. The zero value is not useful; use NewScheduler.
+type Scheduler struct {
+	cache   *memo.Cache // nil when caching is disabled
+	workers int
+}
+
+// NewScheduler builds a Scheduler from opt.
+func NewScheduler(opt SchedulerOptions) *Scheduler {
+	s := &Scheduler{workers: opt.Workers}
+	if opt.CacheCapacity >= 0 {
+		s.cache = memo.New(memo.Config{
+			Capacity: opt.CacheCapacity,
+			Shards:   opt.CacheShards,
+			Tracer:   opt.Tracer,
+		})
+	}
+	return s
+}
+
+// CacheCounters returns the cache activity counters (all zero when caching
+// is disabled).
+func (sc *Scheduler) CacheCounters() CacheCounters {
+	if sc.cache == nil {
+		return CacheCounters{}
+	}
+	return sc.cache.Counters()
+}
+
+// scheduleBlockFused is ScheduleBlock with both passes sharing one rank
+// context (the PR 2 engine's per-graph cached topo order, descendant closure
+// and scratch). Both paths are deterministic functions of (g, m), so the
+// result is bit-identical to the package-level ScheduleBlock.
+func scheduleBlockFused(g *Graph, m *Machine) (*Schedule, error) {
+	rc, err := rank.NewCtx(g, m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rc.Run(rank.UniformDeadlines(g.Len(), rank.Big), nil)
+	if err != nil {
+		return nil, err
+	}
+	d := rank.UniformDeadlines(g.Len(), res.S.Makespan())
+	s, _, err := idle.DelayIdleSlotsCtx(rc, res.S, d, nil, nil)
+	return s, err
+}
+
+// ScheduleBlock is the memoized equivalent of the package-level
+// ScheduleBlock.
+func (sc *Scheduler) ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
+	if sc.cache == nil {
+		return scheduleBlockFused(g, m)
+	}
+	v, _, err := sc.cache.Do(memo.KeyFor(g, m, memo.KindBlock), func() (any, error) {
+		s, err := scheduleBlockFused(g, m)
+		if err != nil {
+			return nil, err
+		}
+		s.G, s.M = nil, nil // detach: the cache must not retain caller graphs
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*Schedule).Clone()
+	out.G, out.M = g, m
+	return out, nil
+}
+
+// ScheduleTrace is the memoized equivalent of the package-level
+// ScheduleTrace.
+func (sc *Scheduler) ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
+	if sc.cache == nil {
+		return core.Lookahead(g, m)
+	}
+	v, _, err := sc.cache.Do(memo.KeyFor(g, m, memo.KindTrace), func() (any, error) {
+		r, err := core.Lookahead(g, m)
+		if err != nil {
+			return nil, err
+		}
+		r.S.G, r.S.M = nil, nil
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*TraceResult).Clone()
+	out.S.G, out.S.M = g, m
+	return out, nil
+}
+
+// ScheduleLoop is the memoized equivalent of the package-level ScheduleLoop.
+func (sc *Scheduler) ScheduleLoop(g *Graph, m *Machine) (*LoopSteady, error) {
+	if sc.cache == nil {
+		return loops.ScheduleLoop(g, m)
+	}
+	v, _, err := sc.cache.Do(memo.KeyFor(g, m, memo.KindLoop), func() (any, error) {
+		st, err := loops.ScheduleLoop(g, m)
+		if err != nil {
+			return nil, err
+		}
+		st.S.G, st.S.M = nil, nil
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*LoopSteady).Clone()
+	out.S.G, out.S.M = g, m
+	return out, nil
+}
+
+// BatchKind selects which scheduler a BatchItem runs.
+type BatchKind uint8
+
+const (
+	// BatchTrace runs Algorithm Lookahead (ScheduleTrace).
+	BatchTrace BatchKind = iota
+	// BatchBlock runs the single-block rank + Delay_Idle_Slots pipeline.
+	BatchBlock
+	// BatchLoop runs the §5 loop scheduler.
+	BatchLoop
+)
+
+// BatchItem is one scheduling request.
+type BatchItem struct {
+	G    *Graph
+	M    *Machine
+	Kind BatchKind
+}
+
+// BatchResult is one scheduling outcome; exactly one of Trace/Block/Loop is
+// set (matching the item's Kind) unless Err is non-nil.
+type BatchResult struct {
+	Trace *TraceResult
+	Block *Schedule
+	Loop  *LoopSteady
+	Err   error
+}
+
+func (sc *Scheduler) scheduleOne(it BatchItem) BatchResult {
+	var r BatchResult
+	switch {
+	case it.G == nil || it.M == nil:
+		r.Err = fmt.Errorf("aisched: batch item needs a graph and a machine")
+	case it.Kind == BatchTrace:
+		r.Trace, r.Err = sc.ScheduleTrace(it.G, it.M)
+	case it.Kind == BatchBlock:
+		r.Block, r.Err = sc.ScheduleBlock(it.G, it.M)
+	case it.Kind == BatchLoop:
+		r.Loop, r.Err = sc.ScheduleLoop(it.G, it.M)
+	default:
+		r.Err = fmt.Errorf("aisched: unknown batch kind %d", it.Kind)
+	}
+	return r
+}
+
+// ScheduleBatch schedules every item on a bounded worker pool and returns
+// the results in input order. Duplicate items (same fingerprint) are
+// computed once: concurrent duplicates coalesce on the cache's in-flight
+// table, later ones hit the memo. One item's failure never affects the
+// others; check each BatchResult.Err.
+func (sc *Scheduler) ScheduleBatch(items []BatchItem) []BatchResult {
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	workers := sc.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i := range items {
+			results[i] = sc.scheduleOne(items[i])
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				// Indexed write: no ordering coordination needed, results
+				// land in input order by construction.
+				results[i] = sc.scheduleOne(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// ProgramTrace is one scheduled trace of a compiled program.
+type ProgramTrace struct {
+	// Blocks are the CFG block indices that contributed instructions, in
+	// trace order; the trace graph's block index b corresponds to Blocks[b].
+	Blocks []int
+	// G is the trace's dependence graph (cross-block deps included).
+	G *Graph
+	// Res is the anticipatory schedule of the trace.
+	Res *TraceResult
+}
+
+// ProgramSchedule is ScheduleProgram's output: every trace of the program,
+// in trace-selection order (heaviest first).
+type ProgramSchedule struct {
+	Traces []ProgramTrace
+}
+
+// ScheduleProgram compiles nothing itself — it takes a compiled mini-C
+// program, builds its CFG, selects traces (Fisher's heuristic, heaviest
+// seed first), builds each trace's dependence graph, and schedules all
+// traces through ScheduleBatch. Hot blocks repeated across programs hit the
+// schedule cache.
+func (sc *Scheduler) ScheduleProgram(c *CompiledC, m *Machine) (*ProgramSchedule, error) {
+	cg, err := cfg.FromCompiled(c)
+	if err != nil {
+		return nil, err
+	}
+	traces := cg.SelectTraces()
+	ps := &ProgramSchedule{Traces: make([]ProgramTrace, 0, len(traces))}
+	items := make([]BatchItem, 0, len(traces))
+	for _, tr := range traces {
+		// TraceInstrs skips empty blocks, so record the block indices that
+		// actually landed in the graph (graph block b = kept[b]).
+		var kept []int
+		var instrs [][]Instr
+		for _, bi := range tr {
+			if bs := cg.Blocks[bi].Instrs; len(bs) > 0 {
+				kept = append(kept, bi)
+				instrs = append(instrs, bs)
+			}
+		}
+		g := deps.BuildTrace(instrs)
+		ps.Traces = append(ps.Traces, ProgramTrace{Blocks: kept, G: g})
+		items = append(items, BatchItem{G: g, M: m, Kind: BatchTrace})
+	}
+	for i, r := range sc.ScheduleBatch(items) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("aisched: trace %d: %w", i, r.Err)
+		}
+		ps.Traces[i].Res = r.Trace
+	}
+	return ps, nil
+}
+
+// ScheduleBatch schedules items on a default Scheduler (fresh cache,
+// GOMAXPROCS workers) and returns results in input order.
+func ScheduleBatch(items []BatchItem) []BatchResult {
+	return NewScheduler(SchedulerOptions{}).ScheduleBatch(items)
+}
+
+// ScheduleProgram schedules every trace of a compiled program on a default
+// Scheduler.
+func ScheduleProgram(c *CompiledC, m *Machine) (*ProgramSchedule, error) {
+	return NewScheduler(SchedulerOptions{}).ScheduleProgram(c, m)
+}

@@ -1,0 +1,364 @@
+package aisched
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aisched/internal/workload"
+)
+
+// relabel rebuilds g node-for-node (same IDs, attributes, and edges) with
+// different labels and a shuffled edge insertion order — the front-end
+// rebuilding the same block down a different path. Must hit the cache.
+func relabel(g *Graph, r *rand.Rand) *Graph {
+	h := NewGraph(g.Len() + 3)
+	for v := 0; v < g.Len(); v++ {
+		nd := g.Node(NodeID(v))
+		h.AddNode(fmt.Sprintf("relabelled-%d", v), nd.Exec, nd.Class, nd.Block)
+	}
+	var es []Edge
+	for v := 0; v < g.Len(); v++ {
+		es = append(es, g.Out(NodeID(v))...)
+	}
+	for _, i := range r.Perm(len(es)) {
+		h.MustEdge(es[i].Src, es[i].Dst, es[i].Latency, es[i].Distance)
+	}
+	return h
+}
+
+func sameSchedule(t *testing.T, what string, a, b *Schedule) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Start, b.Start) || !reflect.DeepEqual(a.Unit, b.Unit) {
+		t.Fatalf("%s: schedules differ\n%v\n%v", what, a, b)
+	}
+}
+
+func sameTraceResult(t *testing.T, what string, a, b *TraceResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Order, b.Order) || !reflect.DeepEqual(a.BlockOrders, b.BlockOrders) {
+		t.Fatalf("%s: orders differ", what)
+	}
+	sameSchedule(t, what, a.S, b.S)
+}
+
+func sameSteady(t *testing.T, what string, a, b *LoopSteady) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Order, b.Order) || a.Makespan != b.Makespan || a.II != b.II {
+		t.Fatalf("%s: steady states differ: %+v vs %+v", what, a, b)
+	}
+	sameSchedule(t, what, a.S, b.S)
+}
+
+// TestSchedulerDifferentialBitIdentical is the tentpole's required
+// differential test: for every kind, the memoized Scheduler's results —
+// cold (computing miss), warm (cache hit), and from a relabelled rebuild of
+// the same graph — are bit-identical to the direct uncached package calls,
+// and every returned schedule is rebound to the caller's own graph and
+// machine pointers.
+func TestSchedulerDifferentialBitIdentical(t *testing.T) {
+	m := SingleUnit(4)
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tg, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := workload.Loop(r, workload.DefaultLoop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewScheduler(SchedulerOptions{})
+
+		// Trace kind.
+		direct, err := ScheduleTrace(tg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range []struct {
+			name string
+			g    *Graph
+		}{{"cold", tg}, {"warm", tg}, {"relabelled", relabel(tg, r)}} {
+			g := pass.g
+			got, err := sc.ScheduleTrace(g, m)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, pass.name, err)
+			}
+			sameTraceResult(t, fmt.Sprintf("seed %d trace/%s", seed, pass.name), direct, got)
+			if got.S.G != g || got.S.M != m {
+				t.Fatalf("seed %d trace/%s: result not rebound to caller's graph/machine", seed, pass.name)
+			}
+		}
+
+		// Block kind (the whole trace graph as one scheduling unit).
+		dblock, err := ScheduleBlock(tg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			got, err := sc.ScheduleBlock(tg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSchedule(t, fmt.Sprintf("seed %d block/%s", seed, pass), dblock, got)
+			if got.G != tg || got.M != m {
+				t.Fatalf("seed %d block/%s: result not rebound", seed, pass)
+			}
+		}
+
+		// Loop kind.
+		dloop, err := ScheduleLoop(lg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			got, err := sc.ScheduleLoop(lg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSteady(t, fmt.Sprintf("seed %d loop/%s", seed, pass), dloop, got)
+			if got.S.G != lg || got.S.M != m {
+				t.Fatalf("seed %d loop/%s: result not rebound", seed, pass)
+			}
+		}
+
+		// The relabelled rebuild must have hit, not recomputed: 3 distinct
+		// computations (trace, block, loop), everything else cache traffic.
+		if got := sc.CacheCounters(); got.Misses != 3 {
+			t.Fatalf("seed %d: %d misses, want 3 (counters %+v)", seed, got.Misses, got)
+		}
+	}
+}
+
+// TestSchedulerResultsAreIndependentClones: mutating a returned schedule
+// must not corrupt the cache.
+func TestSchedulerResultsAreIndependentClones(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g, err := workload.Trace(r, workload.DefaultTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SingleUnit(4)
+	sc := NewScheduler(SchedulerOptions{})
+	first, err := sc.ScheduleTrace(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), first.S.Start...)
+	first.S.Start[0] = -99
+	first.Order[0] = NodeID(-99)
+	second, err := sc.ScheduleTrace(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second.S.Start, want) {
+		t.Fatal("mutating a returned result leaked into the cache")
+	}
+}
+
+func TestSchedulerCacheDisabled(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g, err := workload.Trace(r, workload.DefaultTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SingleUnit(4)
+	sc := NewScheduler(SchedulerOptions{CacheCapacity: -1})
+	direct, err := ScheduleTrace(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.ScheduleTrace(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTraceResult(t, "uncached scheduler", direct, got)
+	if c := sc.CacheCounters(); c != (CacheCounters{}) {
+		t.Fatalf("disabled cache reported activity: %+v", c)
+	}
+}
+
+func TestSchedulerErrorNotCached(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddUnit("a")
+	b := g.AddUnit("b")
+	g.MustEdge(a, b, 0, 0)
+	g.MustEdge(b, a, 0, 0) // loop-independent cycle: every scheduler rejects
+	m := SingleUnit(4)
+	sc := NewScheduler(SchedulerOptions{})
+	for i := 0; i < 2; i++ {
+		if _, err := sc.ScheduleTrace(g, m); err == nil {
+			t.Fatal("cyclic graph scheduled without error")
+		}
+	}
+	if got := sc.CacheCounters(); got.Misses != 2 || got.Hits != 0 {
+		t.Fatalf("errors must not be cached: %+v", got)
+	}
+}
+
+// TestScheduleBatchMatchesSerial: a mixed batch with duplicates returns, in
+// input order, exactly what serial uncached calls return — and duplicates
+// are computed once.
+func TestScheduleBatchMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := SingleUnit(4)
+	mw := RS6000(6)
+	var items []BatchItem
+	for i := 0; i < 6; i++ {
+		tg, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := workload.Loop(r, workload.DefaultLoop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items,
+			BatchItem{G: tg, M: m, Kind: BatchTrace},
+			BatchItem{G: tg, M: mw, Kind: BatchTrace}, // same graph, other machine
+			BatchItem{G: tg, M: m, Kind: BatchBlock},
+			BatchItem{G: lg, M: m, Kind: BatchLoop},
+			BatchItem{G: relabel(tg, r), M: m, Kind: BatchTrace}, // duplicate via fingerprint
+		)
+	}
+	got := ScheduleBatch(items)
+	if len(got) != len(items) {
+		t.Fatalf("got %d results for %d items", len(got), len(items))
+	}
+	for i, it := range items {
+		if got[i].Err != nil {
+			t.Fatalf("item %d: %v", i, got[i].Err)
+		}
+		switch it.Kind {
+		case BatchTrace:
+			want, err := ScheduleTrace(it.G, it.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameTraceResult(t, fmt.Sprintf("item %d", i), want, got[i].Trace)
+		case BatchBlock:
+			want, err := ScheduleBlock(it.G, it.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSchedule(t, fmt.Sprintf("item %d", i), want, got[i].Block)
+		case BatchLoop:
+			want, err := ScheduleLoop(it.G, it.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSteady(t, fmt.Sprintf("item %d", i), want, got[i].Loop)
+		}
+	}
+}
+
+// TestScheduleBatchConcurrencyAndCoalescing hammers one Scheduler with a
+// duplicate-heavy batch (run under -race by make check) and checks the
+// cache bookkeeping: every request is a hit, miss, or coalesce, and misses
+// equal the number of distinct instances.
+func TestScheduleBatchConcurrencyAndCoalescing(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m := SingleUnit(4)
+	const distinct, copies = 5, 24
+	var graphs []*Graph
+	for i := 0; i < distinct; i++ {
+		g, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	var items []BatchItem
+	for c := 0; c < copies; c++ {
+		for _, g := range graphs {
+			items = append(items, BatchItem{G: relabel(g, r), M: m, Kind: BatchTrace})
+		}
+	}
+	sc := NewScheduler(SchedulerOptions{})
+	res := sc.ScheduleBatch(items)
+	for i, g := range graphs {
+		want, err := ScheduleTrace(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < copies; c++ {
+			br := res[c*distinct+i]
+			if br.Err != nil {
+				t.Fatal(br.Err)
+			}
+			sameTraceResult(t, fmt.Sprintf("copy %d of graph %d", c, i), want, br.Trace)
+		}
+	}
+	got := sc.CacheCounters()
+	if got.Misses != distinct {
+		t.Fatalf("misses = %d, want %d (%+v)", got.Misses, distinct, got)
+	}
+	if got.Hits+got.Misses+got.Coalesced != uint64(len(items)) {
+		t.Fatalf("requests unaccounted for: %+v over %d items", got, len(items))
+	}
+}
+
+// TestScheduleProgram: the program pipeline matches scheduling each selected
+// trace serially, and block bookkeeping maps graph blocks to CFG blocks.
+func TestScheduleProgram(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	src := workload.RandomProgram(r, 8)
+	c, err := CompileC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SingleUnit(4)
+	ps, err := ScheduleProgram(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cg, err := BuildCFG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := cg.SelectTraces()
+	if len(ps.Traces) != len(traces) {
+		t.Fatalf("scheduled %d traces, CFG selected %d", len(ps.Traces), len(traces))
+	}
+	for i, tr := range traces {
+		want, err := ScheduleTrace(BuildTraceGraph(cg.TraceInstrs(tr)), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTraceResult(t, fmt.Sprintf("trace %d", i), want, ps.Traces[i].Res)
+		// Blocks records exactly the non-empty CFG blocks, in trace order,
+		// and the graph's block indices address into it.
+		var nonEmpty []int
+		for _, bi := range tr {
+			if len(cg.Blocks[bi].Instrs) > 0 {
+				nonEmpty = append(nonEmpty, bi)
+			}
+		}
+		if !reflect.DeepEqual(ps.Traces[i].Blocks, nonEmpty) {
+			t.Fatalf("trace %d: Blocks = %v, want %v", i, ps.Traces[i].Blocks, nonEmpty)
+		}
+		for v := 0; v < ps.Traces[i].G.Len(); v++ {
+			if b := ps.Traces[i].G.Node(NodeID(v)).Block; b < 0 || b >= len(nonEmpty) {
+				t.Fatalf("trace %d node %d: block %d out of range", i, v, b)
+			}
+		}
+	}
+}
+
+func TestScheduleBatchEmptyAndErrors(t *testing.T) {
+	if got := ScheduleBatch(nil); len(got) != 0 {
+		t.Fatalf("nil batch returned %d results", len(got))
+	}
+	res := ScheduleBatch([]BatchItem{{G: nil, M: SingleUnit(4), Kind: BatchTrace}})
+	if res[0].Err == nil {
+		t.Fatal("nil graph item must error, not panic")
+	}
+	g := NewGraph(1)
+	g.AddUnit("a")
+	res = ScheduleBatch([]BatchItem{{G: g, M: SingleUnit(4), Kind: BatchKind(99)}})
+	if res[0].Err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

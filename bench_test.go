@@ -444,6 +444,65 @@ func BenchmarkScheduleLoop(b *testing.B) {
 	}
 }
 
+// batchBenchItems builds n trace-scheduling requests drawn from distinct base
+// graphs; duplicates are independently rebuilt (fresh labels, shuffled edge
+// insertion order), so the schedule cache must match them by content
+// fingerprint, never pointer identity.
+func batchBenchItems(tb testing.TB, n, distinct int) []BatchItem {
+	tb.Helper()
+	r := rand.New(rand.NewSource(77))
+	m := machine.SingleUnit(4)
+	bases := make([]*Graph, distinct)
+	for i := range bases {
+		g, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bases[i] = g
+	}
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i] = BatchItem{G: relabel(bases[i%distinct], r), M: m, Kind: BatchTrace}
+	}
+	return items
+}
+
+// BenchmarkScheduleBatch: amortized cost of the throughput layer on a 64-item
+// trace batch at 0% and ~90% duplicate rates (fresh Scheduler per op —
+// cold-cache honest), vs the serial uncached loop over the same ~90%-dup
+// items. Snapshotted in BENCH_PR3.json as BatchDup0/BatchDup90/SerialDup90.
+func BenchmarkScheduleBatch(b *testing.B) {
+	const n = 64
+	for _, v := range []struct {
+		name     string
+		distinct int
+	}{{"dup0", n}, {"dup90", 7}} {
+		items := batchBenchItems(b, n, v.distinct)
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc := NewScheduler(SchedulerOptions{})
+				for _, r := range sc.ScheduleBatch(items) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+	items := batchBenchItems(b, n, 7)
+	b.Run("serial-dup90", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				if _, err := ScheduleTrace(it.G, it.M); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkTracingOverhead quantifies the cost of an attached recorder on
 // the window simulator — the nil-tracer path is the one the ≤2% regression
 // budget protects.

@@ -12,9 +12,13 @@
 //
 // Modes:
 //
-//	trace — treat the file's blocks as a trace; run Algorithm Lookahead.
-//	loop  — treat the first block as a single-block loop body; run the §5.2
-//	        general-case loop scheduler and report steady-state cycles/iter.
+//	trace   — treat the file's blocks as a trace; run Algorithm Lookahead.
+//	loop    — treat the first block as a single-block loop body; run the §5.2
+//	          general-case loop scheduler and report steady-state cycles/iter.
+//	program — treat the file as mini-C source: compile it, select traces over
+//	          the CFG, and schedule every trace through the parallel batch
+//	          pipeline with the content-addressed schedule cache; reports
+//	          per-trace makespans and the cache hit/miss counters.
 //
 // Observability:
 //
@@ -49,9 +53,22 @@ CL.18:
 	bt     cr1, CL.18  ; loop back
 `
 
+// fig3Program is the paper's Figure 3 C fragment (§2.4), the default input
+// of -mode program.
+const fig3Program = `
+int x[100];
+int y[100];
+int i;
+y[0] = x[0];
+for (i = 1; x[i] != 0; i = i + 1) {
+	y[i] = y[i-1] * x[i];
+}
+y[i] = 0;
+`
+
 func main() {
 	var (
-		mode     = flag.String("mode", "loop", "trace or loop")
+		mode     = flag.String("mode", "loop", "trace, loop, or program")
 		w        = flag.Int("w", 4, "lookahead window size W")
 		mdl      = flag.String("machine", "single", "single, rs6000, or wide2")
 		iters    = flag.Int("iters", 20, "loop iterations to simulate")
@@ -67,22 +84,6 @@ func main() {
 		rec = aisched.NewRecorder()
 	}
 
-	src := fig3Asm
-	if flag.NArg() > 0 {
-		data, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		src = string(data)
-	}
-	blocks, err := aisched.ParseAsm(src)
-	if err != nil {
-		fatal(err)
-	}
-	if len(blocks) == 0 {
-		fatal(fmt.Errorf("no instructions"))
-	}
-
 	var m *machine.Machine
 	switch *mdl {
 	case "single":
@@ -96,13 +97,40 @@ func main() {
 	}
 	fmt.Printf("machine: %s\n\n", m)
 
-	switch *mode {
-	case "loop":
-		runLoop(blocks[0], m, *iters, *unroll, rec)
-	case "trace":
-		runTrace(blocks, m, rec)
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	if *mode == "program" {
+		src := fig3Program
+		if flag.NArg() > 0 {
+			data, err := os.ReadFile(flag.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			src = string(data)
+		}
+		runProgram(src, m, rec)
+	} else {
+		src := fig3Asm
+		if flag.NArg() > 0 {
+			data, err := os.ReadFile(flag.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			src = string(data)
+		}
+		blocks, err := aisched.ParseAsm(src)
+		if err != nil {
+			fatal(err)
+		}
+		if len(blocks) == 0 {
+			fatal(fmt.Errorf("no instructions"))
+		}
+		switch *mode {
+		case "loop":
+			runLoop(blocks[0], m, *iters, *unroll, rec)
+		case "trace":
+			runTrace(blocks, m, rec)
+		default:
+			fatal(fmt.Errorf("unknown mode %q", *mode))
+		}
 	}
 
 	if rec != nil {
@@ -220,6 +248,42 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 	}
 	fmt.Println("anticipatory static code:")
 	fmt.Print(out)
+}
+
+// runProgram is the batch pipeline: compile mini-C, select traces over the
+// CFG, schedule every trace through aisched.ScheduleBatch (cache-integrated,
+// GOMAXPROCS workers), and report per-trace results plus cache activity.
+func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder) {
+	c, err := aisched.CompileC(src)
+	if err != nil {
+		fatal(err)
+	}
+	opts := aisched.SchedulerOptions{}
+	if rec != nil {
+		opts.Tracer = rec
+	}
+	sc := aisched.NewScheduler(opts)
+	ps, err := sc.ScheduleProgram(c, m)
+	if err != nil {
+		fatal(err)
+	}
+	t := tables.New("program: anticipatory schedule per selected trace",
+		"trace", "blocks", "instrs", "predicted makespan", "dynamic completion")
+	for i, tr := range ps.Traces {
+		if tr.G.Len() == 0 {
+			t.Add(i, fmt.Sprint(tr.Blocks), 0, 0, 0)
+			continue
+		}
+		sim, err := aisched.SimulateTrace(tr.G, m, tr.Res.StaticOrder())
+		if err != nil {
+			fatal(err)
+		}
+		t.Add(i, fmt.Sprint(tr.Blocks), tr.G.Len(), tr.Res.Makespan(), sim.Completion)
+	}
+	fmt.Println(t)
+	cc := sc.CacheCounters()
+	fmt.Printf("schedule cache: %d hits, %d misses, %d coalesced, %d evictions\n",
+		cc.Hits, cc.Misses, cc.Coalesced, cc.Evictions)
 }
 
 // observer wraps the recorder in an aisched.Observer, taking care not to

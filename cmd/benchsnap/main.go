@@ -1,11 +1,14 @@
-// Command benchsnap records a benchmark snapshot for the three facade-level
-// workloads the PR-to-PR regression budget is measured against
-// (ScheduleTrace, SimulateTrace, ScheduleLoop — all with tracing disabled)
-// and writes it as JSON, or compares a fresh run against a committed
-// snapshot and fails beyond the tolerance:
+// Command benchsnap records a benchmark snapshot for the facade-level
+// workloads the PR-to-PR regression budget is measured against — the three
+// single-request paths (ScheduleTrace, SimulateTrace, ScheduleLoop, all with
+// tracing disabled) plus the batch-pipeline throughput workloads (BatchDup0,
+// BatchDup90, SerialDup90: a 64-item trace batch at 0% and ~90% duplicate
+// rates through ScheduleBatch, and the same ~90%-duplicate items through the
+// serial uncached entry point) — and writes it as JSON, or compares a fresh
+// run against a committed snapshot and fails beyond the tolerance:
 //
-//	go run ./cmd/benchsnap -o BENCH_PR2.json
-//	go run ./cmd/benchsnap -compare BENCH_PR2.json
+//	go run ./cmd/benchsnap -o BENCH_PR3.json
+//	go run ./cmd/benchsnap -compare BENCH_PR3.json
 //
 // Comparison prints a per-benchmark delta table and exits non-zero if any
 // allocs/op or ns/op delta exceeds ±tol% (default 2%), enforcing the ROADMAP
@@ -26,13 +29,19 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"aisched"
+	"aisched/internal/graph"
 	"aisched/internal/machine"
 	"aisched/internal/paperex"
 	"aisched/internal/workload"
 )
+
+// batchN is the number of scheduling requests per batch benchmark op; the
+// printed amortized ns/block figures divide ns/op by it.
+const batchN = 64
 
 type entry struct {
 	NsPerOp     int64 `json:"ns_per_op"`
@@ -48,7 +57,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file (ignored with -compare)")
+	out := flag.String("o", "BENCH_PR3.json", "output file (ignored with -compare)")
 	compare := flag.String("compare", "", "compare against this snapshot instead of writing one")
 	tol := flag.Float64("tol", 2.0, "regression budget in percent for -compare")
 	noisefloor := flag.Float64("noisefloor", 25.0, "minimum ns/op tolerance in percent (wall-clock noise on shared hardware)")
@@ -69,6 +78,27 @@ func main() {
 	}
 	order := res.StaticOrder()
 	f3 := paperex.NewFig3()
+
+	// Batch throughput workloads: batchN trace requests where every duplicate
+	// is an independently rebuilt copy (fresh labels, shuffled edge insertion
+	// order), so the schedule cache must match by content fingerprint.
+	// BatchDup0 is all-distinct (worst case for the cache); BatchDup90 keeps
+	// ~10% distinct graphs; SerialDup90 pushes the same ~90%-duplicate items
+	// through the uncached package-level path, so SerialDup90/BatchDup90 is
+	// the amortized speedup the throughput layer buys on duplicate-heavy
+	// streams. A fresh Scheduler per op keeps every measurement cold-cache.
+	batch0 := batchItems(batchN, batchN)
+	batch90 := batchItems(batchN, 7)
+	runBatch := func(b *testing.B, items []aisched.BatchItem) {
+		for i := 0; i < b.N; i++ {
+			sc := aisched.NewScheduler(aisched.SchedulerOptions{})
+			for _, r := range sc.ScheduleBatch(items) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	}
 
 	benches := []struct {
 		name string
@@ -92,6 +122,17 @@ func main() {
 			for i := 0; i < b.N; i++ {
 				if _, err := aisched.ScheduleLoop(f3.G, m); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"BatchDup0", func(b *testing.B) { runBatch(b, batch0) }},
+		{"BatchDup90", func(b *testing.B) { runBatch(b, batch90) }},
+		{"SerialDup90", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, it := range batch90 {
+					if _, err := aisched.ScheduleTrace(it.G, it.M); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		}},
@@ -134,6 +175,10 @@ func main() {
 		fmt.Printf("%-14s %10d ns/op %8d B/op %6d allocs/op\n",
 			bench.name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
 	}
+	if s, bt := snap.Benchmarks["SerialDup90"], snap.Benchmarks["BatchDup90"]; bt.NsPerOp > 0 {
+		fmt.Printf("amortized at ~90%% dup: batch %d ns/block vs serial %d ns/block (%.1fx)\n",
+			bt.NsPerOp/batchN, s.NsPerOp/batchN, float64(s.NsPerOp)/float64(bt.NsPerOp))
+	}
 
 	if *compare != "" {
 		for name := range noise {
@@ -169,8 +214,23 @@ func compareSnapshots(path string, cur snapshot, noise map[string]float64, tol f
 		fatal(fmt.Errorf("%s: %w", path, err))
 	}
 	fmt.Printf("\ncomparing against %s (budget ±%.1f%%; ns/op tolerance widens to this run's noise floor)\n", path, tol)
+	// Walk the sorted union of both snapshots' benchmark names so every
+	// out-of-tolerance (or missing) benchmark is reported before the nonzero
+	// exit, not just the first.
+	names := map[string]bool{}
+	for name := range old.Benchmarks {
+		names[name] = true
+	}
+	for name := range cur.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
 	fail := false
-	for _, bench := range []string{"ScheduleTrace", "SimulateTrace", "ScheduleLoop"} {
+	for _, bench := range sorted {
 		oe, okOld := old.Benchmarks[bench]
 		ce, okCur := cur.Benchmarks[bench]
 		if !okOld || !okCur {
@@ -203,6 +263,46 @@ func compareSnapshots(path string, cur snapshot, noise map[string]float64, tol f
 	}
 	fmt.Println("benchsnap: within regression budget")
 	return 0
+}
+
+// batchItems builds n trace-scheduling requests drawn from distinct base
+// graphs; every duplicate is rebuilt node-for-node with fresh labels and a
+// shuffled edge insertion order, so duplicate detection must come from the
+// content fingerprint, never pointer identity.
+func batchItems(n, distinct int) []aisched.BatchItem {
+	r := rand.New(rand.NewSource(77))
+	m := machine.SingleUnit(4)
+	bases := make([]*graph.Graph, distinct)
+	for i := range bases {
+		g, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			fatal(err)
+		}
+		bases[i] = g
+	}
+	items := make([]aisched.BatchItem, n)
+	for i := range items {
+		items[i] = aisched.BatchItem{G: rebuild(bases[i%distinct], r), M: m, Kind: aisched.BatchTrace}
+	}
+	return items
+}
+
+// rebuild reconstructs g with fresh labels and shuffled edge order — the same
+// scheduling instance arriving down a different front-end path.
+func rebuild(g *graph.Graph, r *rand.Rand) *graph.Graph {
+	h := graph.New(g.Len())
+	for v := 0; v < g.Len(); v++ {
+		nd := g.Node(graph.NodeID(v))
+		h.AddNode(fmt.Sprintf("b%d", v), nd.Exec, nd.Class, nd.Block)
+	}
+	var es []graph.Edge
+	for v := 0; v < g.Len(); v++ {
+		es = append(es, g.Out(graph.NodeID(v))...)
+	}
+	for _, i := range r.Perm(len(es)) {
+		h.MustEdge(es[i].Src, es[i].Dst, es[i].Latency, es[i].Distance)
+	}
+	return h
 }
 
 func fatal(err error) {

@@ -50,6 +50,7 @@ func main() {
 		{"T5", def(experiments.T5, 20)},
 		{"T7", def(experiments.T7, 30)},
 		{"A1", def(experiments.A1, 30)},
+		{"B1", def(experiments.B1, 200)},
 		{"A2", def(experiments.A2, 20)},
 		{"O1", experiments.O1},
 	}

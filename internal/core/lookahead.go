@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"aisched/internal/graph"
 	"aisched/internal/idle"
@@ -35,6 +36,27 @@ import (
 	"aisched/internal/rank"
 	"aisched/internal/sched"
 )
+
+// laScratch pools Algorithm Lookahead's per-call whole-trace buffers (tie
+// positions and the stitched absolute schedule) so batch pipelines that
+// schedule many traces concurrently reuse them per worker instead of
+// reallocating per call. The final schedule copies out of absStart/absUnit,
+// so nothing pooled escapes.
+type laScratch struct {
+	tiePos   []int
+	absStart []int
+	absUnit  []int
+}
+
+var laPool = sync.Pool{New: func() any { return new(laScratch) }}
+
+func (st *laScratch) grow(n int) {
+	if cap(st.tiePos) < n {
+		st.tiePos = make([]int, n)
+		st.absStart = make([]int, n)
+		st.absUnit = make([]int, n)
+	}
+}
 
 // Options tunes Algorithm Lookahead.
 type Options struct {
@@ -70,6 +92,21 @@ type Result struct {
 
 // Makespan returns the predicted completion time of the trace.
 func (r *Result) Makespan() int { return r.S.Makespan() }
+
+// Clone returns a deep copy of r. The schedule's graph and machine pointers
+// are shared, not copied; the memo layer overwrites them on its clones to
+// detach cached values from caller-owned graphs.
+func (r *Result) Clone() *Result {
+	c := &Result{
+		Order:       append([]graph.NodeID(nil), r.Order...),
+		BlockOrders: make(map[int][]graph.NodeID, len(r.BlockOrders)),
+		S:           r.S.Clone(),
+	}
+	for b, o := range r.BlockOrders {
+		c.BlockOrders[b] = append([]graph.NodeID(nil), o...)
+	}
+	return c
+}
 
 // StaticOrder returns the emitted code: the per-block static orders
 // concatenated in block order. This is the instruction stream the hardware
@@ -128,7 +165,10 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		byBlock[b] = append(byBlock[b], graph.NodeID(v))
 	}
 
-	tiePos := make([]int, g.Len())
+	scratch := laPool.Get().(*laScratch)
+	defer laPool.Put(scratch)
+	scratch.grow(g.Len())
+	tiePos := scratch.tiePos[:g.Len()]
 	if opt.Tie != nil {
 		for i, id := range opt.Tie {
 			tiePos[id] = i
@@ -146,8 +186,8 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	var plusOrder []graph.NodeID // S+ of the most recent iteration, original IDs
 	// Stitched absolute schedule: frames advance by each chop's base.
 	timeBase := 0
-	absStart := make([]int, g.Len())
-	absUnit := make([]int, g.Len())
+	absStart := scratch.absStart[:g.Len()]
+	absUnit := scratch.absUnit[:g.Len()]
 	for i := range absStart {
 		absStart[i] = sched.Unassigned
 		absUnit[i] = sched.Unassigned

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sort"
+	"sync"
+)
+
+// Fingerprint is a 256-bit content address for one scheduling instance: a
+// dependence graph together with the machine parameters that affect
+// scheduling (per-class unit counts and the lookahead window W). It is the
+// cache key of the memoization layer (internal/memo), so its contract is
+// chosen for cache soundness:
+//
+//   - Two instances collide exactly when they describe the same scheduling
+//     problem: same node count, per-node <exec, class, block> attributes,
+//     same dependence edges with the same <latency, distance> labels, same
+//     unit counts and window. Every scheduler in this repository is a
+//     deterministic function of exactly these inputs, so equal fingerprints
+//     imply bit-identical schedules.
+//   - Human-readable node labels, edge insertion order, machine names, and
+//     construction capacities are canonicalized away: rebuilding the same
+//     block from a different front-end path (relabelled registers, edges
+//     discovered in a different order) still hits the cache.
+//   - Node IDs are NOT canonicalized away. Program order is a semantic
+//     input: it is the schedulers' tie-break (Definition 2.1's program
+//     order), so two graphs that differ by a nontrivial ID permutation are
+//     different instances that may legitimately produce different (equally
+//     optimal) schedules. Collapsing them would break the memo layer's
+//     bit-identical-results guarantee. See TestFingerprintPermutationIsSound.
+//
+// The hash walks the nodes in topo-canonical order (the deterministic
+// TopoOrder over distance-0 edges, ID tie-broken; ID order when the
+// loop-independent subgraph is cyclic) and serializes, per node, its
+// original program position, attributes, and outgoing edges sorted by
+// (destination, distance) with destinations expressed as topo-canonical
+// positions. SHA-256 makes accidental collisions (two different instances,
+// same fingerprint) cryptographically negligible, which is what lets the
+// memo layer return cached schedules without re-verifying the full key.
+type Fingerprint [32]byte
+
+// fpScratch pools the per-call buffers of Fingerprint so the hot cache-hit
+// path (hash + lookup) stays allocation-light.
+var fpScratch = sync.Pool{New: func() any { return new(fpState) }}
+
+type fpState struct {
+	h   hash.Hash
+	buf [8]byte
+	pos []int
+	es  []Edge
+}
+
+// Fingerprint computes the content address of (g, units, window). Pass the
+// machine's per-class unit counts and lookahead window (machine.Machine's
+// Units and Window fields); the machine name is deliberately excluded.
+func (g *Graph) Fingerprint(units []int, window int) Fingerprint {
+	st := fpScratch.Get().(*fpState)
+	if st.h == nil {
+		st.h = sha256.New()
+	} else {
+		st.h.Reset()
+	}
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(st.buf[:], uint64(int64(v)))
+		st.h.Write(st.buf[:])
+	}
+
+	n := g.Len()
+	put(n)
+	put(g.NumEdges())
+	put(window)
+	put(len(units))
+	for _, u := range units {
+		put(u)
+	}
+
+	// Topo-canonical node order: deterministic for a given graph, shared by
+	// every rebuild of the same content. Cyclic loop-independent subgraphs
+	// (rejected by every scheduler anyway) fall back to ID order so the
+	// fingerprint is total.
+	order, err := g.TopoOrder()
+	if err != nil {
+		order = order[:0]
+		for id := 0; id < n; id++ {
+			order = append(order, NodeID(id))
+		}
+	}
+	if cap(st.pos) < n {
+		st.pos = make([]int, n)
+	}
+	pos := st.pos[:n]
+	for i, id := range order {
+		pos[id] = i
+	}
+
+	for _, id := range order {
+		nd := g.nodes[id]
+		// The original program position pins program order (the tie-break)
+		// as part of the instance identity; labels are skipped.
+		put(int(id))
+		put(nd.Exec)
+		put(nd.Class)
+		put(nd.Block)
+		es := append(st.es[:0], g.out[id]...)
+		st.es = es[:0]
+		// AddEdge keeps at most one edge per (dst, distance), so this sort
+		// key is unique and insertion order cannot leak into the hash.
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].Dst != es[b].Dst {
+				return es[a].Dst < es[b].Dst
+			}
+			return es[a].Distance < es[b].Distance
+		})
+		put(len(es))
+		for _, e := range es {
+			put(pos[e.Dst])
+			put(e.Latency)
+			put(e.Distance)
+		}
+	}
+
+	var fp Fingerprint
+	st.h.Sum(fp[:0])
+	fpScratch.Put(st)
+	return fp
+}

@@ -14,11 +14,27 @@ package hw
 
 import (
 	"fmt"
+	"sync"
 
 	"aisched/internal/graph"
 	"aisched/internal/machine"
 	"aisched/internal/obs"
 )
+
+// simScratch pools the simulator's per-call working buffers (permutation
+// check, dynamic stream, position index, finish times, unit clocks) so
+// repeated simulations — the experiment sweeps run thousands — stay
+// allocation-light. issued and the Result escape to the caller and are
+// always freshly allocated.
+type simScratch struct {
+	seen     []bool
+	stream   []instance
+	pos      []int // flat [node*iters+iter] position index
+	finish   []int
+	unitFree []int
+}
+
+var simPool = sync.Pool{New: func() any { return new(simScratch) }}
 
 // Options control simulation details.
 type Options struct {
@@ -105,7 +121,15 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 	if len(order) != n {
 		return nil, fmt.Errorf("hw: order has %d entries for %d nodes", len(order), n)
 	}
-	seen := make([]bool, n)
+	st := simPool.Get().(*simScratch)
+	defer simPool.Put(st)
+	if cap(st.seen) < n {
+		st.seen = make([]bool, n)
+	}
+	seen := st.seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, id := range order {
 		if id < 0 || int(id) >= n || seen[id] {
 			return nil, fmt.Errorf("hw: order is not a permutation")
@@ -119,21 +143,28 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 		return nil, err
 	}
 
-	// Build the dynamic stream and a position index: pos[node][iter].
-	stream := make([]instance, 0, n*iters)
-	pos := make([][]int, n)
-	for v := range pos {
-		pos[v] = make([]int, iters)
+	// Build the dynamic stream and a flat position index pos[node*iters+iter].
+	if cap(st.stream) < n*iters {
+		st.stream = make([]instance, 0, n*iters)
 	}
+	stream := st.stream[:0]
+	if cap(st.pos) < n*iters {
+		st.pos = make([]int, n*iters)
+	}
+	pos := st.pos[:n*iters]
 	for k := 0; k < iters; k++ {
 		for _, id := range order {
-			pos[id][k] = len(stream)
+			pos[int(id)*iters+k] = len(stream)
 			stream = append(stream, instance{node: id, iter: k})
 		}
 	}
+	st.stream = stream
 	total := len(stream)
 	issued := make([]int, total)
-	finish := make([]int, total)
+	if cap(st.finish) < total {
+		st.finish = make([]int, total)
+	}
+	finish := st.finish[:total]
 	for i := range issued {
 		issued[i] = -1
 		finish[i] = -1
@@ -141,7 +172,13 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 
 	w := m.Window
 	totalUnits := m.TotalUnits()
-	unitFree := make([]int, totalUnits)
+	if cap(st.unitFree) < totalUnits {
+		st.unitFree = make([]int, totalUnits)
+	}
+	unitFree := st.unitFree[:totalUnits]
+	for i := range unitFree {
+		unitFree[i] = 0
+	}
 	rollbacks := 0
 	nextMispredict := opt.MispredictEvery // countdown in branch instances
 
@@ -197,7 +234,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 				continue
 			}
 			ins := stream[i]
-			if !ready(g, m, opt, pos, finish, ins, t) {
+			if !ready(g, m, opt, pos, iters, finish, ins, t) {
 				continue
 			}
 			base, count := unitRange(m, machine.UnitClass(g.Node(ins.node).Class))
@@ -286,7 +323,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 				if issued[i] >= 0 {
 					continue
 				}
-				cand := earliestReady(g, m, opt, pos, finish, stream[i])
+				cand := earliestReady(g, m, opt, pos, iters, finish, stream[i])
 				base, count := unitRange(m, machine.UnitClass(g.Node(stream[i].node).Class))
 				uf := -1
 				for u := base; u < base+count; u++ {
@@ -318,7 +355,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 				for c := t; c < next; c++ {
 					tr.Emit(obs.Event{Kind: obs.KindStall, Cycle: c, Block: -1,
 						Node: graph.None,
-						Reason: classifyStall(g, m, opt, pos, finish, stream, issued,
+						Reason: classifyStall(g, m, opt, pos, iters, finish, stream, issued,
 							unitFree, head, inWindow, total, w, c)})
 				}
 			}
@@ -346,20 +383,20 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 // has already drained instructions past the head out of order and can no
 // longer slide) over DepWait (plain dependence wait). RollbackRefill cycles
 // are attributed at the emission site.
-func classifyStall(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int,
-	finish []int, stream []instance, issued, unitFree []int,
+func classifyStall(g *graph.Graph, m *machine.Machine, opt Options, pos []int,
+	iters int, finish []int, stream []instance, issued, unitFree []int,
 	head, inWindow, total, w, t int) obs.StallReason {
 	for i := head; i < inWindow; i++ {
 		if issued[i] >= 0 {
 			continue
 		}
-		if earliestReady(g, m, opt, pos, finish, stream[i]) <= t {
+		if earliestReady(g, m, opt, pos, iters, finish, stream[i]) <= t {
 			return obs.UnitBusy
 		}
 	}
 	if inWindow-head == w {
 		for j := inWindow; j < total; j++ {
-			if earliestReady(g, m, opt, pos, finish, stream[j]) > t {
+			if earliestReady(g, m, opt, pos, iters, finish, stream[j]) > t {
 				continue
 			}
 			base, count := unitRange(m, machine.UnitClass(g.Node(stream[j].node).Class))
@@ -390,8 +427,8 @@ func honored(g *graph.Graph, opt Options, e graph.Edge) bool {
 }
 
 // ready reports whether instance ins can issue at cycle t.
-func ready(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int, finish []int, ins instance, t int) bool {
-	return earliestReady(g, m, opt, pos, finish, ins) <= t
+func ready(g *graph.Graph, m *machine.Machine, opt Options, pos []int, iters int, finish []int, ins instance, t int) bool {
+	return earliestReady(g, m, opt, pos, iters, finish, ins) <= t
 }
 
 // never marks an instance whose producer has not issued yet.
@@ -399,7 +436,7 @@ const never = 1 << 30
 
 // earliestReady returns the earliest cycle at which ins's dependences allow
 // issue, or never if a producer has not issued yet.
-func earliestReady(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int, finish []int, ins instance) int {
+func earliestReady(g *graph.Graph, m *machine.Machine, opt Options, pos []int, iters int, finish []int, ins instance) int {
 	at := 0
 	for _, e := range g.In(ins.node) {
 		if !honored(g, opt, e) {
@@ -409,7 +446,7 @@ func earliestReady(g *graph.Graph, m *machine.Machine, opt Options, pos [][]int,
 		if k < 0 {
 			continue // prologue instance: already complete
 		}
-		p := pos[e.Src][k]
+		p := pos[int(e.Src)*iters+k]
 		if finish[p] < 0 {
 			return never
 		}

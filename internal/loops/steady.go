@@ -107,6 +107,18 @@ type Steady struct {
 	II       int // steady-state cycles per iteration
 }
 
+// Clone returns a deep copy of st. The schedule's graph and machine
+// pointers are shared, not copied; the memo layer overwrites them on its
+// clones to detach cached values from caller-owned graphs.
+func (st *Steady) Clone() *Steady {
+	return &Steady{
+		Order:    append([]graph.NodeID(nil), st.Order...),
+		S:        st.S.Clone(),
+		Makespan: st.Makespan,
+		II:       st.II,
+	}
+}
+
 // CompletionN returns the completion time of n iterations under the
 // periodic model: makespan + (n−1)·II.
 func (st *Steady) CompletionN(n int) int {

@@ -1,0 +1,258 @@
+// Package memo is the content-addressed schedule cache: a sharded, bounded
+// LRU keyed by graph.Fingerprint that memoizes scheduling results across
+// calls. It is the amortization layer of the throughput pipeline — identical
+// basic blocks dominate real workloads, so a compiler front-end that keeps
+// re-submitting the same block should pay for scheduling once.
+//
+// Concurrency design:
+//
+//   - The key space is partitioned into ≥16 power-of-two shards, each with
+//     its own mutex, LRU list, and counters, so concurrent lookups of
+//     different blocks never contend on one lock. SHA-256 fingerprints are
+//     uniform, so the shard index is just the key's low 64 bits masked.
+//   - Each shard carries a singleflight table: when a lookup misses while
+//     another goroutine is already computing the same key, the latecomer
+//     waits for that in-flight computation instead of duplicating it
+//     (counted as "coalesced"). Errors are never cached — every waiter of a
+//     failed flight gets the error, and the next lookup recomputes.
+//
+// The cache stores opaque values; the facade layer is responsible for
+// storing clones that do not retain caller-owned graphs and for rebinding
+// clones on the way out. Soundness rests on the Fingerprint contract
+// (internal/graph): equal keys describe the same scheduling instance, and
+// every scheduler in this repository is deterministic, so a cached value is
+// bit-identical to what recomputation would produce.
+package memo
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/obs"
+)
+
+// Kind discriminates the result type cached under a fingerprint, so a block
+// schedule and a trace result for the same graph never alias.
+type Kind uint8
+
+const (
+	// KindBlock caches single-block schedules (rank + Delay_Idle_Slots).
+	KindBlock Kind = iota
+	// KindTrace caches Algorithm Lookahead trace results.
+	KindTrace
+	// KindLoop caches §5 steady-state loop schedules.
+	KindLoop
+)
+
+// Key is the cache key: the instance fingerprint plus the result kind.
+type Key struct {
+	FP   graph.Fingerprint
+	Kind Kind
+}
+
+// KeyFor builds the cache key for scheduling g on m as kind. It hashes
+// exactly the machine parameters that affect scheduling (unit counts and
+// window); machine names do not fragment the cache.
+func KeyFor(g *graph.Graph, m *machine.Machine, kind Kind) Key {
+	return Key{FP: g.Fingerprint(m.Units, m.Window), Kind: kind}
+}
+
+// Config sizes a Cache. The zero value picks the defaults.
+type Config struct {
+	// Capacity is the total entry budget across all shards (default 4096).
+	// It is split evenly per shard, so the effective bound is approximate:
+	// a pathological key distribution can evict earlier on a hot shard.
+	Capacity int
+	// Shards is the number of lock shards, rounded up to a power of two and
+	// clamped to at least 16.
+	Shards int
+	// Tracer, when non-nil, receives KindCacheHit / KindCacheMiss /
+	// KindCacheEvict / KindCacheCoalesce events for the metrics snapshot.
+	Tracer obs.Tracer
+}
+
+// DefaultCapacity is the entry budget used when Config.Capacity is zero.
+const DefaultCapacity = 4096
+
+const minShards = 16
+
+// Counters is a point-in-time snapshot of the cache's activity, summed over
+// shards. Hits + Misses + Coalesced equals the number of Do calls.
+type Counters struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// entry is one resident value, threaded on its shard's intrusive LRU ring.
+type entry struct {
+	key        Key
+	val        any
+	prev, next *entry
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*entry
+	lru      entry // sentinel: lru.next is MRU, lru.prev is LRU
+	inflight map[Key]*flight
+
+	hits, misses, evictions, coalesced uint64
+}
+
+// Cache is a sharded bounded LRU with singleflight deduplication. Safe for
+// concurrent use. The zero value is not useful; use New.
+type Cache struct {
+	shards []shard
+	mask   uint64
+	tracer obs.Tracer
+}
+
+// New builds a cache from cfg (zero-value fields take defaults).
+func New(cfg Config) *Cache {
+	capTotal := cfg.Capacity
+	if capTotal <= 0 {
+		capTotal = DefaultCapacity
+	}
+	n := cfg.Shards
+	if n < minShards {
+		n = minShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	for n&(n-1) != 0 {
+		n &= n - 1
+		n <<= 1
+	}
+	perShard := (capTotal + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1), tracer: cfg.Tracer}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = perShard
+		s.entries = make(map[Key]*entry)
+		s.inflight = make(map[Key]*flight)
+		s.lru.next = &s.lru
+		s.lru.prev = &s.lru
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	return &c.shards[binary.LittleEndian.Uint64(k.FP[:8])&c.mask]
+}
+
+func (c *Cache) emit(kind obs.Kind) {
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{Kind: kind, Block: -1})
+	}
+}
+
+// Do returns the cached value for k, computing it with compute on a miss.
+// hit reports whether the value came from the cache (including waiting on a
+// concurrent computation of the same key) rather than from this call's own
+// compute. Errors are returned to every waiter of the failed computation and
+// are never cached; the next Do for the same key recomputes.
+func (c *Cache) Do(k Key, compute func() (any, error)) (val any, hit bool, err error) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		e.unlink()
+		e.pushMRU(&s.lru)
+		s.hits++
+		s.mu.Unlock()
+		c.emit(obs.KindCacheHit)
+		return e.val, true, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		c.emit(obs.KindCacheCoalesce)
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.misses++
+	s.mu.Unlock()
+	c.emit(obs.KindCacheMiss)
+
+	f.val, f.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	evicted := 0
+	if f.err == nil {
+		e := &entry{key: k, val: f.val}
+		s.entries[k] = e
+		e.pushMRU(&s.lru)
+		for len(s.entries) > s.capacity {
+			victim := s.lru.prev
+			victim.unlink()
+			delete(s.entries, victim.key)
+			s.evictions++
+			evicted++
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	for i := 0; i < evicted; i++ {
+		c.emit(obs.KindCacheEvict)
+	}
+	return f.val, false, f.err
+}
+
+// Len returns the number of resident entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Counters sums the per-shard activity counters.
+func (c *Cache) Counters() Counters {
+	var t Counters
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		t.Hits += s.hits
+		t.Misses += s.misses
+		t.Evictions += s.evictions
+		t.Coalesced += s.coalesced
+		s.mu.Unlock()
+	}
+	return t
+}
+
+func (e *entry) unlink() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (e *entry) pushMRU(sentinel *entry) {
+	e.prev = sentinel
+	e.next = sentinel.next
+	sentinel.next.prev = e
+	sentinel.next = e
+}

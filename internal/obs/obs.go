@@ -74,6 +74,17 @@ const (
 	// window head (stream position), N the occupancy (window-resident
 	// instructions not yet issued).
 	KindWindow
+	// KindCacheHit / KindCacheMiss report one schedule-cache lookup
+	// (internal/memo): a hit returns a memoized schedule, a miss computes
+	// and stores one.
+	KindCacheHit
+	KindCacheMiss
+	// KindCacheEvict is one LRU eviction from the schedule cache.
+	KindCacheEvict
+	// KindCacheCoalesce is one deduplicated concurrent lookup: the request
+	// arrived while another goroutine was already computing the same key and
+	// waited for that in-flight result instead of recomputing.
+	KindCacheCoalesce
 )
 
 // String returns the stable event-kind name used in exports.
@@ -103,6 +114,14 @@ func (k Kind) String() string {
 		return "rollback"
 	case KindWindow:
 		return "window"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheMiss:
+		return "cache-miss"
+	case KindCacheEvict:
+		return "cache-evict"
+	case KindCacheCoalesce:
+		return "cache-coalesce"
 	}
 	return "unknown"
 }

@@ -207,3 +207,24 @@ func TestTimelineEmpty(t *testing.T) {
 		t.Errorf("empty timeline = %q", tl)
 	}
 }
+
+func TestStatsCacheCounters(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Kind: KindCacheHit, Block: -1})
+	}
+	r.Emit(Event{Kind: KindCacheMiss, Block: -1})
+	r.Emit(Event{Kind: KindCacheMiss, Block: -1})
+	r.Emit(Event{Kind: KindCacheEvict, Block: -1})
+	r.Emit(Event{Kind: KindCacheCoalesce, Block: -1})
+	s := r.Stats()
+	if s.CacheHits != 3 || s.CacheMisses != 2 || s.CacheEvictions != 1 || s.CacheCoalesced != 1 {
+		t.Fatalf("cache counters = %d/%d/%d/%d, want 3/2/1/1",
+			s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheCoalesced)
+	}
+	for _, k := range []Kind{KindCacheHit, KindCacheMiss, KindCacheEvict, KindCacheCoalesce} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -89,6 +89,13 @@ type Stats struct {
 	MaxCarriedSuffix    int `json:"max_carried_suffix"`
 	IICandidates        int `json:"ii_candidates"`
 	BestII              int `json:"best_ii"`
+	// Schedule-cache counters (internal/memo): lookups that returned a
+	// memoized schedule, lookups that computed one, LRU evictions, and
+	// concurrent lookups coalesced onto an in-flight computation.
+	CacheHits      int `json:"cache_hits"`
+	CacheMisses    int `json:"cache_misses"`
+	CacheEvictions int `json:"cache_evictions"`
+	CacheCoalesced int `json:"cache_coalesced"`
 	// Passes counts KindPassStart events per pass name.
 	Passes map[string]int `json:"passes"`
 }
@@ -168,6 +175,14 @@ func (r *Recorder) Stats() Stats {
 			if s.BestII == 0 || e.N < s.BestII {
 				s.BestII = e.N
 			}
+		case KindCacheHit:
+			s.CacheHits++
+		case KindCacheMiss:
+			s.CacheMisses++
+		case KindCacheEvict:
+			s.CacheEvictions++
+		case KindCacheCoalesce:
+			s.CacheCoalesced++
 		}
 	}
 	for i, seg := range segs {

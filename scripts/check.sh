@@ -14,6 +14,6 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
 go test -race ./...
-echo "== benchsnap -compare BENCH_PR2.json"
-go run ./cmd/benchsnap -compare BENCH_PR2.json
+echo "== benchsnap -compare BENCH_PR3.json"
+go run ./cmd/benchsnap -compare BENCH_PR3.json
 echo "check: OK"
