@@ -34,6 +34,8 @@
 package aisched
 
 import (
+	"context"
+
 	"aisched/internal/cfg"
 	"aisched/internal/core"
 	"aisched/internal/deps"
@@ -181,29 +183,25 @@ var (
 // as late as possible (ready to be filled by successor-block instructions
 // through the hardware window). Optimal for unit execution times, 0/1
 // latencies and a single functional unit; a strong heuristic otherwise.
+// ScheduleBlockCtx adds cooperative cancellation.
 func ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
-	s, err := rank.Makespan(g, m)
-	if err != nil {
-		return nil, err
-	}
-	d := rank.UniformDeadlines(g.Len(), s.Makespan())
-	s, _, err = idle.DelayIdleSlots(s, m, d, nil)
-	return s, err
+	return ScheduleBlockCtx(context.Background(), g, m)
 }
 
 // ScheduleTrace runs Algorithm Lookahead (§4) over a trace graph whose
 // nodes carry block indices. The result's BlockOrders are the static code
-// to emit; instructions never cross block boundaries.
+// to emit; instructions never cross block boundaries. ScheduleTraceCtx adds
+// cooperative cancellation.
 func ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
-	return core.Lookahead(g, m)
+	return ScheduleTraceCtx(context.Background(), g, m)
 }
 
 // ScheduleLoop schedules a loop body graph (distance-1 carried edges): the
 // §5.2 general case for single-block bodies, the §5.1 trace algorithm for
 // multi-block bodies. The result reports the static order and the periodic
-// steady state.
+// steady state. ScheduleLoopCtx adds cooperative cancellation.
 func ScheduleLoop(g *Graph, m *Machine) (*LoopSteady, error) {
-	return loops.ScheduleLoop(g, m)
+	return ScheduleLoopCtx(context.Background(), g, m)
 }
 
 // EvaluateLoopOrder computes the periodic steady state of an explicit loop

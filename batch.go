@@ -20,6 +20,7 @@ package aisched
 // callers may mutate results freely.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,10 +29,13 @@ import (
 	"aisched/internal/cfg"
 	"aisched/internal/core"
 	"aisched/internal/deps"
+	"aisched/internal/faultinject"
 	"aisched/internal/idle"
 	"aisched/internal/loops"
 	"aisched/internal/memo"
+	"aisched/internal/obs"
 	"aisched/internal/rank"
+	"aisched/internal/sbudget"
 )
 
 // CacheCounters is a snapshot of the schedule cache's activity.
@@ -49,9 +53,15 @@ type SchedulerOptions struct {
 	// Workers bounds ScheduleBatch's worker pool (0 = GOMAXPROCS).
 	Workers int
 	// Tracer, when non-nil, receives cache events (hit, miss, evict,
-	// coalesce) for the metrics snapshot. Scheduling passes are not traced
-	// here — use Observer / WithTracer to observe pass internals.
+	// coalesce) plus cancellation/degradation events for the metrics
+	// snapshot. Scheduling passes are not traced here — use Observer /
+	// WithTracer to observe pass internals.
 	Tracer Tracer
+	// Budget bounds each scheduling request (see Budget). On exhaustion
+	// the request degrades gracefully to the baseline list schedule — the
+	// result's Schedule carries the reason in its Degraded field — instead
+	// of returning an error. Degraded results are never cached.
+	Budget Budget
 }
 
 // Scheduler is a caching, batch-capable front door to the schedulers. Safe
@@ -59,11 +69,13 @@ type SchedulerOptions struct {
 type Scheduler struct {
 	cache   *memo.Cache // nil when caching is disabled
 	workers int
+	budget  Budget
+	tracer  Tracer
 }
 
 // NewScheduler builds a Scheduler from opt.
 func NewScheduler(opt SchedulerOptions) *Scheduler {
-	s := &Scheduler{workers: opt.Workers}
+	s := &Scheduler{workers: opt.Workers, budget: opt.Budget, tracer: opt.Tracer}
 	if opt.CacheCapacity >= 0 {
 		s.cache = memo.New(memo.Config{
 			Capacity: opt.CacheCapacity,
@@ -86,12 +98,14 @@ func (sc *Scheduler) CacheCounters() CacheCounters {
 // scheduleBlockFused is ScheduleBlock with both passes sharing one rank
 // context (the PR 2 engine's per-graph cached topo order, descendant closure
 // and scratch). Both paths are deterministic functions of (g, m), so the
-// result is bit-identical to the package-level ScheduleBlock.
-func scheduleBlockFused(g *Graph, m *Machine) (*Schedule, error) {
+// result is bit-identical to the two-context pipeline. bs, when non-nil,
+// makes every rank pass a cancellation/budget checkpoint.
+func scheduleBlockFused(g *Graph, m *Machine, bs *sbudget.State) (*Schedule, error) {
 	rc, err := rank.NewCtx(g, m)
 	if err != nil {
 		return nil, err
 	}
+	rc.SetBudget(bs)
 	res, err := rc.Run(rank.UniformDeadlines(g.Len(), rank.Big), nil)
 	if err != nil {
 		return nil, err
@@ -104,11 +118,26 @@ func scheduleBlockFused(g *Graph, m *Machine) (*Schedule, error) {
 // ScheduleBlock is the memoized equivalent of the package-level
 // ScheduleBlock.
 func (sc *Scheduler) ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
+	return sc.ScheduleBlockCtx(context.Background(), g, m)
+}
+
+// ScheduleBlockCtx is ScheduleBlock with cooperative cancellation and the
+// Scheduler's budget applied; on budget exhaustion it returns the baseline
+// fallback schedule tagged Degraded (never an error).
+func (sc *Scheduler) ScheduleBlockCtx(ctx context.Context, g *Graph, m *Machine) (*Schedule, error) {
+	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
-		return scheduleBlockFused(g, m)
+		s, err := scheduleBlockFused(g, m, bs)
+		if err == nil {
+			return s, nil
+		}
+		if reason := sc.degradeReason(err); reason != "" {
+			return sc.fallbackBlock(g, m, reason)
+		}
+		return nil, err
 	}
-	v, _, err := sc.cache.Do(memo.KeyFor(g, m, memo.KindBlock), func() (any, error) {
-		s, err := scheduleBlockFused(g, m)
+	v, _, err := sc.cache.DoCtx(ctx, memo.KeyFor(g, m, memo.KindBlock), func() (any, error) {
+		s, err := scheduleBlockFused(g, m, bs)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +145,11 @@ func (sc *Scheduler) ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
 		return s, nil
 	})
 	if err != nil {
+		// Degraded results never enter the cache: the compute returned an
+		// error (never stored) and the fallback runs outside the cache.
+		if reason := sc.degradeReason(err); reason != "" {
+			return sc.fallbackBlock(g, m, reason)
+		}
 		return nil, err
 	}
 	out := v.(*Schedule).Clone()
@@ -126,11 +160,26 @@ func (sc *Scheduler) ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
 // ScheduleTrace is the memoized equivalent of the package-level
 // ScheduleTrace.
 func (sc *Scheduler) ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
+	return sc.ScheduleTraceCtx(context.Background(), g, m)
+}
+
+// ScheduleTraceCtx is ScheduleTrace with cooperative cancellation and the
+// Scheduler's budget applied; on budget exhaustion it returns the baseline
+// fallback trace result tagged Degraded (never an error).
+func (sc *Scheduler) ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine) (*TraceResult, error) {
+	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
-		return core.Lookahead(g, m)
+		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs})
+		if err == nil {
+			return r, nil
+		}
+		if reason := sc.degradeReason(err); reason != "" {
+			return sc.fallbackTrace(g, m, reason)
+		}
+		return nil, err
 	}
-	v, _, err := sc.cache.Do(memo.KeyFor(g, m, memo.KindTrace), func() (any, error) {
-		r, err := core.Lookahead(g, m)
+	v, _, err := sc.cache.DoCtx(ctx, memo.KeyFor(g, m, memo.KindTrace), func() (any, error) {
+		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs})
 		if err != nil {
 			return nil, err
 		}
@@ -138,6 +187,9 @@ func (sc *Scheduler) ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
 		return r, nil
 	})
 	if err != nil {
+		if reason := sc.degradeReason(err); reason != "" {
+			return sc.fallbackTrace(g, m, reason)
+		}
 		return nil, err
 	}
 	out := v.(*TraceResult).Clone()
@@ -147,11 +199,26 @@ func (sc *Scheduler) ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
 
 // ScheduleLoop is the memoized equivalent of the package-level ScheduleLoop.
 func (sc *Scheduler) ScheduleLoop(g *Graph, m *Machine) (*LoopSteady, error) {
+	return sc.ScheduleLoopCtx(context.Background(), g, m)
+}
+
+// ScheduleLoopCtx is ScheduleLoop with cooperative cancellation and the
+// Scheduler's budget applied; on budget exhaustion it returns the baseline
+// fallback steady state tagged Degraded (never an error).
+func (sc *Scheduler) ScheduleLoopCtx(ctx context.Context, g *Graph, m *Machine) (*LoopSteady, error) {
+	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
-		return loops.ScheduleLoop(g, m)
+		st, err := loops.ScheduleLoopOpts(g, m, loops.Opts{Budget: bs})
+		if err == nil {
+			return st, nil
+		}
+		if reason := sc.degradeReason(err); reason != "" {
+			return sc.fallbackLoop(g, m, reason)
+		}
+		return nil, err
 	}
-	v, _, err := sc.cache.Do(memo.KeyFor(g, m, memo.KindLoop), func() (any, error) {
-		st, err := loops.ScheduleLoop(g, m)
+	v, _, err := sc.cache.DoCtx(ctx, memo.KeyFor(g, m, memo.KindLoop), func() (any, error) {
+		st, err := loops.ScheduleLoopOpts(g, m, loops.Opts{Budget: bs})
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +226,9 @@ func (sc *Scheduler) ScheduleLoop(g *Graph, m *Machine) (*LoopSteady, error) {
 		return st, nil
 	})
 	if err != nil {
+		if reason := sc.degradeReason(err); reason != "" {
+			return sc.fallbackLoop(g, m, reason)
+		}
 		return nil, err
 	}
 	out := v.(*LoopSteady).Clone()
@@ -194,21 +264,56 @@ type BatchResult struct {
 	Err   error
 }
 
-func (sc *Scheduler) scheduleOne(it BatchItem) BatchResult {
-	var r BatchResult
+// Degraded returns the degradation reason carried by the result's schedule
+// ("" for a full anticipatory result, an error result, or an empty result).
+func (r BatchResult) Degraded() string {
+	switch {
+	case r.Block != nil:
+		return r.Block.Degraded
+	case r.Trace != nil && r.Trace.S != nil:
+		return r.Trace.S.Degraded
+	case r.Loop != nil && r.Loop.S != nil:
+		return r.Loop.S.Degraded
+	}
+	return ""
+}
+
+// scheduleOne dispatches one batch item to the matching Ctx entry point.
+func (sc *Scheduler) scheduleOne(ctx context.Context, it BatchItem) (r BatchResult) {
 	switch {
 	case it.G == nil || it.M == nil:
 		r.Err = fmt.Errorf("aisched: batch item needs a graph and a machine")
 	case it.Kind == BatchTrace:
-		r.Trace, r.Err = sc.ScheduleTrace(it.G, it.M)
+		r.Trace, r.Err = sc.ScheduleTraceCtx(ctx, it.G, it.M)
 	case it.Kind == BatchBlock:
-		r.Block, r.Err = sc.ScheduleBlock(it.G, it.M)
+		r.Block, r.Err = sc.ScheduleBlockCtx(ctx, it.G, it.M)
 	case it.Kind == BatchLoop:
-		r.Loop, r.Err = sc.ScheduleLoop(it.G, it.M)
+		r.Loop, r.Err = sc.ScheduleLoopCtx(ctx, it.G, it.M)
 	default:
 		r.Err = fmt.Errorf("aisched: unknown batch kind %d", it.Kind)
 	}
 	return r
+}
+
+// batchOne is the per-item worker body: items picked up after cancellation
+// are drained immediately with ctx.Err() instead of being scheduled, and a
+// panic anywhere in the item's scheduling (including injected faults) is
+// converted into a per-item error so one poisoned item never kills the whole
+// batch.
+func (sc *Scheduler) batchOne(ctx context.Context, it BatchItem) (r BatchResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = BatchResult{Err: fmt.Errorf("aisched: scheduling panicked: %v", p)}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		sc.emitRobust(obs.KindCancel, err.Error())
+		return BatchResult{Err: err}
+	}
+	if h := faultinject.WorkerStart; h != nil {
+		h()
+	}
+	return sc.scheduleOne(ctx, it)
 }
 
 // ScheduleBatch schedules every item on a bounded worker pool and returns
@@ -217,6 +322,15 @@ func (sc *Scheduler) scheduleOne(it BatchItem) BatchResult {
 // table, later ones hit the memo. One item's failure never affects the
 // others; check each BatchResult.Err.
 func (sc *Scheduler) ScheduleBatch(items []BatchItem) []BatchResult {
+	return sc.ScheduleBatchCtx(context.Background(), items)
+}
+
+// ScheduleBatchCtx is ScheduleBatch with cooperative cancellation: when ctx
+// is cancelled mid-flight, in-progress items return ctx.Err() within one
+// checkpoint interval and not-yet-started items are drained without being
+// scheduled, so every result is either complete or carries a context error —
+// never partial.
+func (sc *Scheduler) ScheduleBatchCtx(ctx context.Context, items []BatchItem) []BatchResult {
 	results := make([]BatchResult, len(items))
 	if len(items) == 0 {
 		return results
@@ -230,7 +344,7 @@ func (sc *Scheduler) ScheduleBatch(items []BatchItem) []BatchResult {
 	}
 	if workers == 1 {
 		for i := range items {
-			results[i] = sc.scheduleOne(items[i])
+			results[i] = sc.batchOne(ctx, items[i])
 		}
 		return results
 	}
@@ -247,7 +361,7 @@ func (sc *Scheduler) ScheduleBatch(items []BatchItem) []BatchResult {
 				}
 				// Indexed write: no ordering coordination needed, results
 				// land in input order by construction.
-				results[i] = sc.scheduleOne(items[i])
+				results[i] = sc.batchOne(ctx, items[i])
 			}
 		}()
 	}
@@ -278,6 +392,12 @@ type ProgramSchedule struct {
 // traces through ScheduleBatch. Hot blocks repeated across programs hit the
 // schedule cache.
 func (sc *Scheduler) ScheduleProgram(c *CompiledC, m *Machine) (*ProgramSchedule, error) {
+	return sc.ScheduleProgramCtx(context.Background(), c, m)
+}
+
+// ScheduleProgramCtx is ScheduleProgram with cooperative cancellation
+// threaded through the batch pipeline.
+func (sc *Scheduler) ScheduleProgramCtx(ctx context.Context, c *CompiledC, m *Machine) (*ProgramSchedule, error) {
 	cg, err := cfg.FromCompiled(c)
 	if err != nil {
 		return nil, err
@@ -300,7 +420,7 @@ func (sc *Scheduler) ScheduleProgram(c *CompiledC, m *Machine) (*ProgramSchedule
 		ps.Traces = append(ps.Traces, ProgramTrace{Blocks: kept, G: g})
 		items = append(items, BatchItem{G: g, M: m, Kind: BatchTrace})
 	}
-	for i, r := range sc.ScheduleBatch(items) {
+	for i, r := range sc.ScheduleBatchCtx(ctx, items) {
 		if r.Err != nil {
 			return nil, fmt.Errorf("aisched: trace %d: %w", i, r.Err)
 		}
@@ -315,8 +435,20 @@ func ScheduleBatch(items []BatchItem) []BatchResult {
 	return NewScheduler(SchedulerOptions{}).ScheduleBatch(items)
 }
 
+// ScheduleBatchCtx schedules items on a default Scheduler with cooperative
+// cancellation.
+func ScheduleBatchCtx(ctx context.Context, items []BatchItem) []BatchResult {
+	return NewScheduler(SchedulerOptions{}).ScheduleBatchCtx(ctx, items)
+}
+
 // ScheduleProgram schedules every trace of a compiled program on a default
 // Scheduler.
 func ScheduleProgram(c *CompiledC, m *Machine) (*ProgramSchedule, error) {
 	return NewScheduler(SchedulerOptions{}).ScheduleProgram(c, m)
+}
+
+// ScheduleProgramCtx schedules every trace of a compiled program on a
+// default Scheduler with cooperative cancellation.
+func ScheduleProgramCtx(ctx context.Context, c *CompiledC, m *Machine) (*ProgramSchedule, error) {
+	return NewScheduler(SchedulerOptions{}).ScheduleProgramCtx(ctx, c, m)
 }

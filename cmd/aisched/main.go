@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aisched"
 	"aisched/internal/baseline"
@@ -76,6 +77,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this file")
 		stats    = flag.Bool("stats", false, "print the observability metrics snapshot as JSON")
 		timeline = flag.Bool("timeline", false, "print a plain-text pipeline timeline")
+		bPasses  = flag.Int("budget-passes", 0, "program mode: per-trace rank-pass budget; exhausted traces degrade to the baseline list schedule (0 = unlimited)")
+		bMillis  = flag.Int("budget-ms", 0, "program mode: per-trace wall-clock budget in milliseconds (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -106,7 +109,11 @@ func main() {
 			}
 			src = string(data)
 		}
-		runProgram(src, m, rec)
+		budget := aisched.Budget{
+			WallClock:     time.Duration(*bMillis) * time.Millisecond,
+			MaxRankPasses: *bPasses,
+		}
+		runProgram(src, m, rec, budget)
 	} else {
 		src := fig3Asm
 		if flag.NArg() > 0 {
@@ -252,13 +259,14 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 
 // runProgram is the batch pipeline: compile mini-C, select traces over the
 // CFG, schedule every trace through aisched.ScheduleBatch (cache-integrated,
-// GOMAXPROCS workers), and report per-trace results plus cache activity.
-func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder) {
+// GOMAXPROCS workers, optional per-trace budget), and report per-trace
+// results plus cache activity.
+func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budget aisched.Budget) {
 	c, err := aisched.CompileC(src)
 	if err != nil {
 		fatal(err)
 	}
-	opts := aisched.SchedulerOptions{}
+	opts := aisched.SchedulerOptions{Budget: budget}
 	if rec != nil {
 		opts.Tracer = rec
 	}
@@ -268,22 +276,31 @@ func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder) {
 		fatal(err)
 	}
 	t := tables.New("program: anticipatory schedule per selected trace",
-		"trace", "blocks", "instrs", "predicted makespan", "dynamic completion")
+		"trace", "blocks", "instrs", "predicted makespan", "dynamic completion", "degraded")
+	degraded := 0
 	for i, tr := range ps.Traces {
 		if tr.G.Len() == 0 {
-			t.Add(i, fmt.Sprint(tr.Blocks), 0, 0, 0)
+			t.Add(i, fmt.Sprint(tr.Blocks), 0, 0, 0, "")
 			continue
 		}
 		sim, err := aisched.SimulateTrace(tr.G, m, tr.Res.StaticOrder())
 		if err != nil {
 			fatal(err)
 		}
-		t.Add(i, fmt.Sprint(tr.Blocks), tr.G.Len(), tr.Res.Makespan(), sim.Completion)
+		reason := tr.Res.S.Degraded
+		if reason != "" {
+			degraded++
+		}
+		t.Add(i, fmt.Sprint(tr.Blocks), tr.G.Len(), tr.Res.Makespan(), sim.Completion, reason)
 	}
 	fmt.Println(t)
 	cc := sc.CacheCounters()
 	fmt.Printf("schedule cache: %d hits, %d misses, %d coalesced, %d evictions\n",
 		cc.Hits, cc.Misses, cc.Coalesced, cc.Evictions)
+	if degraded > 0 {
+		fmt.Printf("budget: %d of %d traces degraded to the baseline list schedule\n",
+			degraded, len(ps.Traces))
+	}
 }
 
 // observer wraps the recorder in an aisched.Observer, taking care not to

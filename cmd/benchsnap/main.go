@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"aisched"
 	"aisched/internal/graph"
@@ -62,6 +63,7 @@ func main() {
 	tol := flag.Float64("tol", 2.0, "regression budget in percent for -compare")
 	noisefloor := flag.Float64("noisefloor", 25.0, "minimum ns/op tolerance in percent (wall-clock noise on shared hardware)")
 	runs := flag.Int("runs", 3, "measurements per benchmark (best run kept)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-measurement deadline; a stalled benchmark is reported by name instead of hanging the run")
 	flag.Parse()
 
 	// The same workloads as BenchmarkScheduleTrace / BenchmarkSimulateTrace /
@@ -154,10 +156,13 @@ func main() {
 	for _, bench := range benches {
 		best, worst := entry{}, int64(0)
 		for i := 0; i < *runs; i++ {
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				bench.fn(b)
-			})
+			r, ok := benchmarkWithDeadline(bench.name, bench.fn, *timeout)
+			if !ok {
+				// A deadlocked benchmark (e.g. a scheduling hang) must fail
+				// the gate with a diagnosis, not wedge the whole CI run.
+				fatal(fmt.Errorf("benchmark %s stalled: no result within %v (run %d/%d)",
+					bench.name, *timeout, i+1, *runs))
+			}
 			e := entry{
 				NsPerOp:     r.NsPerOp(),
 				AllocsPerOp: r.AllocsPerOp(),
@@ -197,6 +202,30 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchmarkWithDeadline runs one testing.Benchmark measurement on its own
+// goroutine and gives up after d: ok is false when the benchmark never
+// finished — the goroutine is left blocked (it cannot be killed) and the
+// caller is expected to report the stall and exit. testing.Benchmark has no
+// internal deadline, so without this a single deadlocked scheduling path
+// would hang the whole -compare gate instead of failing it.
+func benchmarkWithDeadline(name string, fn func(b *testing.B), d time.Duration) (testing.BenchmarkResult, bool) {
+	done := make(chan testing.BenchmarkResult, 1)
+	go func() {
+		done <- testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r, true
+	case <-timer.C:
+		return testing.BenchmarkResult{}, false
+	}
 }
 
 // compareSnapshots prints the per-benchmark deltas of cur against the

@@ -52,6 +52,7 @@ func main() {
 		{"A1", def(experiments.A1, 30)},
 		{"B1", def(experiments.B1, 200)},
 		{"A2", def(experiments.A2, 20)},
+		{"R1", def(experiments.R1, 50)},
 		{"O1", experiments.O1},
 	}
 

@@ -34,6 +34,7 @@ import (
 	"aisched/internal/machine"
 	"aisched/internal/obs"
 	"aisched/internal/rank"
+	"aisched/internal/sbudget"
 	"aisched/internal/sched"
 )
 
@@ -72,6 +73,11 @@ type Options struct {
 	// (see idle.DelayIdleSlotsT), and a KindChop event with the committed
 	// prefix, the carried-suffix size, and the chop time base.
 	Tracer obs.Tracer
+	// Budget, when non-nil, makes the per-block loop and every rank pass a
+	// cooperative cancellation/budget checkpoint: the algorithm returns the
+	// checkpoint's error (context cancellation or sbudget.ErrExhausted)
+	// instead of a result.
+	Budget *sbudget.State
 }
 
 // Result is the output of Algorithm Lookahead.
@@ -194,6 +200,9 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	}
 
 	for _, b := range blocks {
+		if err := opt.Budget.Check(); err != nil {
+			return nil, err
+		}
 		newIDs := byBlock[b]
 		// cur = old ∪ new, as an induced subgraph.
 		keep := make(map[graph.NodeID]bool, len(oldIDs)+len(newIDs))
@@ -220,6 +229,7 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		if err != nil {
 			return nil, err
 		}
+		rc.SetBudget(opt.Budget)
 
 		// ---- merge (paper Figure 7) ----
 		// Lower bound pass: every deadline = D.

@@ -1,0 +1,115 @@
+// Package faultinject is a build-tag-free fault-injection hook registry for
+// tests: a fixed set of named sites in the scheduling pipeline consult a
+// package-level function pointer and, when it is non-nil, call it before
+// proceeding. Production code never sets a hook, so the steady-state cost of
+// a site is one global load and a predictable branch — the same discipline
+// the observability layer uses for nil Tracers.
+//
+// Tests install hooks to inject delays (to widen race windows
+// deterministically), panics (to exercise recovery paths), forced budget
+// exhaustion (to exercise graceful degradation), or cancellation at a
+// precise checkpoint index. Hooks are plain package variables, NOT
+// goroutine-local: tests that set them must not run in parallel with other
+// tests of the same binary and must Reset (typically via defer) before
+// returning. No test in this repository uses t.Parallel, so this is safe.
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+
+	"aisched/internal/graph"
+	"aisched/internal/obs"
+)
+
+// The named injection sites. Each is consulted (nil-checked) at exactly the
+// place its comment describes; all are no-ops when nil.
+var (
+	// MemoLookup fires at the start of every schedule-cache lookup
+	// (memo.Cache.DoCtx), before the shard lock is taken.
+	MemoLookup func()
+	// WorkerStart fires when a batch worker picks up an item
+	// (Scheduler.ScheduleBatchCtx), before the item is scheduled.
+	WorkerStart func()
+	// RankPass fires on every rank pass (rank.Ctx.RunRanks) — the greedy
+	// reschedule every merge round, idle-slot demotion and loop candidate
+	// goes through.
+	RankPass func()
+	// SimStep fires once per simulated machine cycle (hw.simulate).
+	SimStep func()
+	// Checkpoint fires at every cooperative cancellation/budget checkpoint
+	// (sbudget.State.Check), before the context and deadline are examined.
+	Checkpoint func()
+	// BudgetExhaust is consulted at every checkpoint; returning true forces
+	// budget exhaustion there, regardless of the real deadline or pass count.
+	BudgetExhaust func() bool
+)
+
+// Reset clears every hook. Tests that install hooks must defer this.
+func Reset() {
+	MemoLookup = nil
+	WorkerStart = nil
+	RankPass = nil
+	SimStep = nil
+	Checkpoint = nil
+	BudgetExhaust = nil
+}
+
+// injected counts faults fired through the helper constructors below.
+var injected atomic.Uint64
+
+// Injected returns the number of faults the helper hooks have fired since
+// the last ResetCount.
+func Injected() uint64 { return injected.Load() }
+
+// ResetCount zeroes the injected-fault counter.
+func ResetCount() { injected.Store(0) }
+
+// fire records one injected fault: bumps the global counter and, when tr is
+// non-nil, emits a KindFault event labelled with the site name.
+func fire(tr obs.Tracer, site string) {
+	injected.Add(1)
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindFault, Label: site, Block: -1, Node: graph.None})
+	}
+}
+
+// Delay returns a hook that sleeps for d on every call — the standard way to
+// hold a singleflight leader in place while a test arranges waiters.
+func Delay(tr obs.Tracer, site string, d time.Duration) func() {
+	return func() {
+		fire(tr, site)
+		time.Sleep(d)
+	}
+}
+
+// Panic returns a hook that panics with msg on every call, for exercising
+// the pipeline's recovery paths.
+func Panic(tr obs.Tracer, site, msg string) func() {
+	return func() {
+		fire(tr, site)
+		panic(msg)
+	}
+}
+
+// ForceExhaust returns a BudgetExhaust hook that forces exhaustion at every
+// checkpoint.
+func ForceExhaust(tr obs.Tracer, site string) func() bool {
+	return func() bool {
+		fire(tr, site)
+		return true
+	}
+}
+
+// After returns a hook that counts calls (atomically, so it is safe at sites
+// reached from several goroutines) and runs fn exactly once, on the nth call
+// (1-based). Compose it with a context cancel func to cancel at a precise
+// checkpoint index.
+func After(n uint64, fn func()) func() {
+	var calls atomic.Uint64
+	return func() {
+		if calls.Add(1) == n {
+			fn()
+		}
+	}
+}

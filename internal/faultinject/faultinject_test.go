@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"aisched/internal/obs"
+)
+
+// TestHooksNilByDefault guards the zero-overhead contract: a fresh process
+// must have every hook unset. (scripts/check.sh additionally greps that no
+// non-test package assigns them.)
+func TestHooksNilByDefault(t *testing.T) {
+	if MemoLookup != nil || WorkerStart != nil || RankPass != nil ||
+		SimStep != nil || Checkpoint != nil || BudgetExhaust != nil {
+		t.Fatal("a fault-injection hook is set by default")
+	}
+}
+
+func TestResetClearsHooks(t *testing.T) {
+	MemoLookup = func() {}
+	WorkerStart = func() {}
+	RankPass = func() {}
+	SimStep = func() {}
+	Checkpoint = func() {}
+	BudgetExhaust = func() bool { return true }
+	Reset()
+	TestHooksNilByDefault(t)
+}
+
+func TestHelpersCountAndTrace(t *testing.T) {
+	ResetCount()
+	rec := obs.NewRecorder()
+
+	Delay(rec, "site-a", time.Microsecond)()
+	if !ForceExhaust(rec, "site-b")() {
+		t.Fatal("ForceExhaust returned false")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Panic hook did not panic")
+			}
+		}()
+		Panic(rec, "site-c", "boom")()
+	}()
+
+	if got := Injected(); got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+	events := rec.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(events))
+	}
+	for i, want := range []string{"site-a", "site-b", "site-c"} {
+		if events[i].Kind != obs.KindFault || events[i].Label != want {
+			t.Fatalf("event %d = %+v, want KindFault at %s", i, events[i], want)
+		}
+	}
+	if st := rec.Stats(); st.FaultsInjected != 3 {
+		t.Fatalf("Stats.FaultsInjected = %d, want 3", st.FaultsInjected)
+	}
+	ResetCount()
+	if Injected() != 0 {
+		t.Fatal("ResetCount did not zero the counter")
+	}
+}
+
+func TestAfterFiresOnce(t *testing.T) {
+	fired := 0
+	h := After(3, func() { fired++ })
+	for i := 0; i < 10; i++ {
+		h()
+	}
+	if fired != 1 {
+		t.Fatalf("After(3) fired %d times, want 1", fired)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"aisched/internal/faultinject"
 	"aisched/internal/graph"
 	"aisched/internal/machine"
 	"aisched/internal/obs"
@@ -211,6 +212,9 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 		}
 	}
 	for t := 0; done < total; t++ {
+		if h := faultinject.SimStep; h != nil {
+			h()
+		}
 		if t < stallUntil {
 			if tr != nil {
 				for c := t; c < stallUntil; c++ {

@@ -7,7 +7,20 @@ import (
 	"aisched/internal/graph"
 	"aisched/internal/machine"
 	"aisched/internal/obs"
+	"aisched/internal/sbudget"
 )
+
+// Opts tunes the loop schedulers.
+type Opts struct {
+	// Tracer, when non-nil, receives the pass events documented on
+	// ScheduleSingleBlockLoopT and ScheduleLoopTraceT.
+	Tracer obs.Tracer
+	// Budget, when non-nil, makes every candidate evaluation and rank pass
+	// a cooperative cancellation/budget checkpoint; the scheduler returns
+	// the checkpoint's error (context cancellation or sbudget.ErrExhausted)
+	// instead of a result.
+	Budget *sbudget.State
+}
 
 // ScheduleLoopTrace implements §5.1: anticipatory scheduling of a loop whose
 // body is a trace of m > 1 basic blocks. Algorithm Lookahead runs over the
@@ -30,6 +43,13 @@ func ScheduleLoopTrace(g *graph.Graph, m *machine.Machine) (*Steady, error) {
 // merge/delay/chop events, and the evaluated body order emits one
 // KindIICandidate event of kind "trace".
 func ScheduleLoopTraceT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
+	return scheduleLoopTraceOpts(g, m, Opts{Tracer: tr})
+}
+
+// scheduleLoopTraceOpts is the option-threading implementation behind
+// ScheduleLoopTraceT and ScheduleLoopOpts.
+func scheduleLoopTraceOpts(g *graph.Graph, m *machine.Machine, o Opts) (*Steady, error) {
+	tr := o.Tracer
 	blocks := blockSet(g)
 	if len(blocks) < 2 {
 		return nil, fmt.Errorf("loops: ScheduleLoopTrace needs ≥ 2 blocks, got %d", len(blocks))
@@ -67,7 +87,7 @@ func ScheduleLoopTraceT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Ste
 		}
 	}
 
-	res, err := core.LookaheadOpts(aug, m, core.Options{Tracer: tr})
+	res, err := core.LookaheadOpts(aug, m, core.Options{Tracer: tr, Budget: o.Budget})
 	if err != nil {
 		return nil, err
 	}
@@ -102,10 +122,16 @@ func ScheduleLoop(g *graph.Graph, m *machine.Machine) (*Steady, error) {
 // ScheduleLoopT is ScheduleLoop with optional tracing (see
 // ScheduleSingleBlockLoopT and ScheduleLoopTraceT).
 func ScheduleLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
+	return ScheduleLoopOpts(g, m, Opts{Tracer: tr})
+}
+
+// ScheduleLoopOpts is ScheduleLoop with full options (tracing plus the
+// cancellation/budget checkpoint state).
+func ScheduleLoopOpts(g *graph.Graph, m *machine.Machine, o Opts) (*Steady, error) {
 	if len(blockSet(g)) == 1 {
-		return ScheduleSingleBlockLoopT(g, m, tr)
+		return scheduleSingleBlockLoopOpts(g, m, o)
 	}
-	return ScheduleLoopTraceT(g, m, tr)
+	return scheduleLoopTraceOpts(g, m, o)
 }
 
 func blockSet(g *graph.Graph) []int {

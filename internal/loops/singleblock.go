@@ -10,6 +10,7 @@ import (
 	"aisched/internal/machine"
 	"aisched/internal/obs"
 	"aisched/internal/rank"
+	"aisched/internal/sbudget"
 )
 
 // SingleSourceOrder implements §5.2.1: schedule a single-basic-block loop by
@@ -28,6 +29,12 @@ import (
 // unique source of G_li and the target of all loop-carried edges, in the
 // restricted machine model.
 func SingleSourceOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]graph.NodeID, error) {
+	return singleSourceOrderB(g, m, y, nil)
+}
+
+// singleSourceOrderB is SingleSourceOrder with an optional budget threaded
+// into the underlying rank context.
+func singleSourceOrderB(g *graph.Graph, m *machine.Machine, y graph.NodeID, bs *sbudget.State) ([]graph.NodeID, error) {
 	n := g.Len()
 	if y < 0 || int(y) >= n {
 		return nil, fmt.Errorf("loops: source candidate %d out of range", y)
@@ -51,7 +58,7 @@ func SingleSourceOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]gr
 	for v := 0; v < n; v++ {
 		gp.MustEdge(graph.NodeID(v), z, 0, 0)
 	}
-	return scheduleAndDrop(gp, m, z)
+	return scheduleAndDrop(gp, m, z, bs)
 }
 
 // SingleSinkOrder implements §5.2.2 (the dual): dummy source z representing
@@ -59,6 +66,12 @@ func SingleSourceOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]gr
 // from z to every other node, and each loop-carried edge (v, x) replaced by
 // (z, x) with the same latency.
 func SingleSinkOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]graph.NodeID, error) {
+	return singleSinkOrderB(g, m, y, nil)
+}
+
+// singleSinkOrderB is SingleSinkOrder with an optional budget threaded into
+// the underlying rank context.
+func singleSinkOrderB(g *graph.Graph, m *machine.Machine, y graph.NodeID, bs *sbudget.State) ([]graph.NodeID, error) {
 	n := g.Len()
 	if y < 0 || int(y) >= n {
 		return nil, fmt.Errorf("loops: sink candidate %d out of range", y)
@@ -84,7 +97,7 @@ func SingleSinkOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]grap
 	for v := 0; v < n; v++ {
 		gp.MustEdge(z, remap[v], 0, 0)
 	}
-	order, err := scheduleAndDrop(gp, m, z)
+	order, err := scheduleAndDrop(gp, m, z, bs)
 	if err != nil {
 		return nil, err
 	}
@@ -99,11 +112,12 @@ func SingleSinkOrder(g *graph.Graph, m *machine.Machine, y graph.NodeID) ([]grap
 // scheduleAndDrop runs rank_alg + Delay_Idle_Slots on the acyclic graph and
 // returns the schedule's permutation with the dummy node removed. One rank
 // context serves both the makespan schedule and the whole delay pass.
-func scheduleAndDrop(gp *graph.Graph, m *machine.Machine, dummy graph.NodeID) ([]graph.NodeID, error) {
+func scheduleAndDrop(gp *graph.Graph, m *machine.Machine, dummy graph.NodeID, bs *sbudget.State) ([]graph.NodeID, error) {
 	c, err := rank.NewCtx(gp, m)
 	if err != nil {
 		return nil, err
 	}
+	c.SetBudget(bs)
 	res, err := c.Run(rank.UniformDeadlines(gp.Len(), rank.Big), nil)
 	if err != nil {
 		return nil, err
@@ -194,11 +208,12 @@ func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error
 
 // baseOrder computes the baseline candidate: the block-optimal order from
 // the Rank Algorithm + Delay_Idle_Slots on the loop-independent subgraph.
-func baseOrder(li *graph.Graph, m *machine.Machine) ([]graph.NodeID, error) {
+func baseOrder(li *graph.Graph, m *machine.Machine, bs *sbudget.State) ([]graph.NodeID, error) {
 	c, err := rank.NewCtx(li, m)
 	if err != nil {
 		return nil, err
 	}
+	c.SetBudget(bs)
 	res, err := c.Run(rank.UniformDeadlines(li.Len(), rank.Big), nil)
 	if err != nil {
 		return nil, err
@@ -231,7 +246,7 @@ func runCandidates(n int, fn func(i int) error) []error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			errs[i] = runCandidate(i, fn)
 		}
 		return errs
 	}
@@ -242,7 +257,7 @@ func runCandidates(n int, fn func(i int) error) []error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = fn(i)
+				errs[i] = runCandidate(i, fn)
 			}
 		}()
 	}
@@ -252,6 +267,18 @@ func runCandidates(n int, fn func(i int) error) []error {
 	close(idx)
 	wg.Wait()
 	return errs
+}
+
+// runCandidate invokes fn(i), converting a panic into a per-candidate error
+// so one panicking candidate cannot kill the process (a panic in a bare
+// worker goroutine is unrecoverable anywhere else).
+func runCandidate(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("loops: candidate %d panicked: %v", i, p)
+		}
+	}()
+	return fn(i)
 }
 
 // ScheduleSingleBlockLoopT is ScheduleSingleBlockLoop with optional tracing:
@@ -265,6 +292,16 @@ func runCandidates(n int, fn func(i int) error) []error {
 // candidate order, so the chosen schedule and emitted trace are identical to
 // a serial evaluation.
 func ScheduleSingleBlockLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer) (*Steady, error) {
+	return scheduleSingleBlockLoopOpts(g, m, Opts{Tracer: tr})
+}
+
+// scheduleSingleBlockLoopOpts is the option-threading implementation behind
+// ScheduleSingleBlockLoopT and ScheduleLoopOpts. The request's budget state
+// is shared by all candidate workers (it is concurrency-safe), so the
+// combined candidate search is metered as one request: each candidate starts
+// with a checkpoint and every rank pass inside it is charged.
+func scheduleSingleBlockLoopOpts(g *graph.Graph, m *machine.Machine, o Opts) (*Steady, error) {
+	tr := o.Tracer
 	if g.Len() == 0 {
 		return nil, fmt.Errorf("loops: empty loop body")
 	}
@@ -292,16 +329,19 @@ func ScheduleSingleBlockLoopT(g *graph.Graph, m *machine.Machine, tr obs.Tracer)
 	}
 
 	errs := runCandidates(len(candidates), func(i int) error {
+		if err := o.Budget.Check(); err != nil {
+			return err
+		}
 		c := &candidates[i]
 		var order []graph.NodeID
 		var err error
 		switch c.kind {
 		case "base":
-			order, err = baseOrder(li, m)
+			order, err = baseOrder(li, m, o.Budget)
 		case "source":
-			order, err = SingleSourceOrder(g, m, c.node)
+			order, err = singleSourceOrderB(g, m, c.node, o.Budget)
 		default:
-			order, err = SingleSinkOrder(g, m, c.node)
+			order, err = singleSinkOrderB(g, m, c.node, o.Budget)
 		}
 		if err != nil {
 			return err

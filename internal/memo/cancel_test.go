@@ -1,0 +1,211 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"aisched/internal/faultinject"
+	"aisched/internal/sbudget"
+)
+
+// startBlockedLeader launches a Do whose compute blocks until release is
+// closed and then returns (val, err). It returns once the leader is inside
+// its compute, so followers are guaranteed to coalesce.
+func startBlockedLeader(c *Cache, k Key, val any, err error) (release chan struct{}) {
+	release = make(chan struct{})
+	entered := make(chan struct{})
+	go c.Do(k, func() (any, error) {
+		close(entered)
+		<-release
+		return val, err
+	})
+	<-entered
+	return release
+}
+
+// awaitCoalesced spins until n waiters are blocked on the in-flight leader.
+func awaitCoalesced(c *Cache, n uint64) {
+	for c.Counters().Coalesced != n {
+		runtime.Gosched()
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonWaiter: when the leader fails with an
+// error personal to it (its caller cancelled), a coalesced waiter must not
+// inherit that error — it recomputes under its own (live) context and its
+// result lands in the cache.
+func TestCancelledLeaderDoesNotPoisonWaiter(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		leader error
+	}{
+		{"canceled", context.Canceled},
+		{"deadline", context.DeadlineExceeded},
+		{"exhausted", sbudget.ErrExhausted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{})
+			k := key(2, 11)
+			release := startBlockedLeader(c, k, nil, tc.leader)
+
+			type res struct {
+				v   any
+				hit bool
+				err error
+			}
+			done := make(chan res, 1)
+			go func() {
+				v, hit, err := c.DoCtx(context.Background(), k, func() (any, error) { return "fresh", nil })
+				done <- res{v, hit, err}
+			}()
+			awaitCoalesced(c, 1)
+			close(release)
+
+			got := <-done
+			if got.err != nil || got.hit || got.v != "fresh" {
+				t.Fatalf("waiter: v=%v hit=%v err=%v; want fresh recompute", got.v, got.hit, got.err)
+			}
+			cnt := c.Counters()
+			if cnt.Recomputed != 1 {
+				t.Fatalf("Recomputed = %d, want 1", cnt.Recomputed)
+			}
+			// Hits+Misses+Coalesced still accounts for every call: the leader's
+			// miss plus the waiter's coalesce.
+			if cnt.Hits+cnt.Misses+cnt.Coalesced != 2 {
+				t.Fatalf("counters %+v do not sum to 2 calls", cnt)
+			}
+			// The waiter's recompute was stored; the leader's failure was not.
+			v, hit, err := c.Do(k, func() (any, error) { return "stale", nil })
+			if err != nil || !hit || v != "fresh" {
+				t.Fatalf("post-recompute lookup: v=%v hit=%v err=%v", v, hit, err)
+			}
+		})
+	}
+}
+
+// TestRealErrorStillShared: a genuine scheduling error (not personal to the
+// leader) propagates to waiters unchanged — no recompute.
+func TestRealErrorStillShared(t *testing.T) {
+	c := New(Config{})
+	k := key(2, 12)
+	boom := errors.New("illegal graph")
+	release := startBlockedLeader(c, k, nil, boom)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(context.Background(), k, func() (any, error) { return "fresh", nil })
+		done <- err
+	}()
+	awaitCoalesced(c, 1)
+	close(release)
+
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("waiter error = %v, want shared boom", err)
+	}
+	if cnt := c.Counters(); cnt.Recomputed != 0 {
+		t.Fatalf("Recomputed = %d, want 0", cnt.Recomputed)
+	}
+}
+
+// TestWaiterOwnCancellation: a waiter whose own context is cancelled while
+// the leader is still computing returns ctx.Err() promptly; the leader's
+// computation is unaffected and still lands in the cache.
+func TestWaiterOwnCancellation(t *testing.T) {
+	c := New(Config{})
+	k := key(2, 13)
+	release := startBlockedLeader(c, k, "slow", nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(ctx, k, func() (any, error) { return "unused", nil })
+		done <- err
+	}()
+	awaitCoalesced(c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+
+	// Leader is still alive; releasing it must cache its value as usual.
+	close(release)
+	for c.Len() != 1 {
+		runtime.Gosched()
+	}
+	v, hit, err := c.Do(k, func() (any, error) { return "stale", nil })
+	if err != nil || !hit || v != "slow" {
+		t.Fatalf("leader value lost: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestPersonalErrorNeverCached: a leader that is cancelled or runs out of
+// budget leaves nothing in the cache — the next lookup recomputes.
+func TestPersonalErrorNeverCached(t *testing.T) {
+	c := New(Config{})
+	k := key(2, 14)
+	_, hit, err := c.Do(k, func() (any, error) { return nil, sbudget.ErrExhausted })
+	if hit || !errors.Is(err, sbudget.ErrExhausted) {
+		t.Fatalf("exhausted Do: hit=%v err=%v", hit, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("exhausted result was cached: len=%d", c.Len())
+	}
+	v, hit, err := c.Do(k, func() (any, error) { return "retry", nil })
+	if err != nil || hit || v != "retry" {
+		t.Fatalf("retry: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestComputePanicDoesNotHangWaiters: a panicking leader still closes its
+// flight, so waiters get an error instead of blocking forever.
+func TestComputePanicDoesNotHangWaiters(t *testing.T) {
+	c := New(Config{})
+	k := key(2, 15)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(k, func() (any, error) {
+			close(entered)
+			<-release
+			panic("compute exploded")
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(context.Background(), k, func() (any, error) { return nil, nil })
+		waiterDone <- err
+	}()
+	awaitCoalesced(c, 1)
+	close(release)
+
+	if err := <-leaderDone; err == nil {
+		t.Fatal("leader panic was not converted to an error")
+	}
+	if err := <-waiterDone; err == nil {
+		t.Fatal("waiter did not observe the leader's panic error")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("panicked result was cached: len=%d", c.Len())
+	}
+}
+
+// TestMemoLookupHookFires: the faultinject.MemoLookup site is consulted on
+// every DoCtx entry (hit, miss, and coalesce alike).
+func TestMemoLookupHookFires(t *testing.T) {
+	defer faultinject.Reset()
+	calls := 0
+	faultinject.MemoLookup = func() { calls++ }
+	c := New(Config{})
+	k := key(2, 16)
+	c.Do(k, func() (any, error) { return 1, nil })
+	c.Do(k, func() (any, error) { return 1, nil })
+	if calls != 2 {
+		t.Fatalf("MemoLookup fired %d times, want 2", calls)
+	}
+}

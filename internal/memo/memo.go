@@ -25,12 +25,17 @@
 package memo
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"sync"
 
+	"aisched/internal/faultinject"
 	"aisched/internal/graph"
 	"aisched/internal/machine"
 	"aisched/internal/obs"
+	"aisched/internal/sbudget"
 )
 
 // Kind discriminates the result type cached under a fingerprint, so a block
@@ -85,6 +90,12 @@ type Counters struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Coalesced uint64 `json:"coalesced"`
+	// Recomputed counts coalesced waiters whose in-flight leader failed
+	// with an error personal to the leader (its context was cancelled or
+	// its budget ran out) and who therefore ran their own compute instead
+	// of inheriting an error their caller did not cause. Each such call is
+	// also counted in Coalesced.
+	Recomputed uint64 `json:"recomputed"`
 }
 
 // entry is one resident value, threaded on its shard's intrusive LRU ring.
@@ -108,7 +119,7 @@ type shard struct {
 	lru      entry // sentinel: lru.next is MRU, lru.prev is LRU
 	inflight map[Key]*flight
 
-	hits, misses, evictions, coalesced uint64
+	hits, misses, evictions, coalesced, recomputed uint64
 }
 
 // Cache is a sharded bounded LRU with singleflight deduplication. Safe for
@@ -160,12 +171,32 @@ func (c *Cache) emit(kind obs.Kind) {
 	}
 }
 
-// Do returns the cached value for k, computing it with compute on a miss.
+// Do is DoCtx with a background (never-cancelled) context.
+func (c *Cache) Do(k Key, compute func() (any, error)) (val any, hit bool, err error) {
+	return c.DoCtx(context.Background(), k, compute)
+}
+
+// DoCtx returns the cached value for k, computing it with compute on a miss.
 // hit reports whether the value came from the cache (including waiting on a
 // concurrent computation of the same key) rather than from this call's own
 // compute. Errors are returned to every waiter of the failed computation and
-// are never cached; the next Do for the same key recomputes.
-func (c *Cache) Do(k Key, compute func() (any, error)) (val any, hit bool, err error) {
+// are never cached; the next lookup for the same key recomputes.
+//
+// Cancellation and failure isolation:
+//
+//   - A waiter whose own ctx is done stops waiting and returns ctx.Err()
+//     immediately; the in-flight computation is unaffected.
+//   - A leader that fails with an error personal to it — context
+//     cancellation or budget exhaustion — does not poison its waiters: each
+//     waiter runs its own compute (under its own context/budget, which its
+//     closure captures) and stores the result on success. Real scheduling
+//     errors are shared with every waiter as before.
+//   - A compute panic is recovered and converted into an error, so the
+//     flight's done channel always closes and waiters never hang.
+func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (val any, hit bool, err error) {
+	if h := faultinject.MemoLookup; h != nil {
+		h()
+	}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
@@ -180,11 +211,31 @@ func (c *Cache) Do(k Key, compute func() (any, error)) (val any, hit bool, err e
 		s.coalesced++
 		s.mu.Unlock()
 		c.emit(obs.KindCacheCoalesce)
-		<-f.done
-		if f.err != nil {
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if f.err == nil {
+			return f.val, true, nil
+		}
+		if !personalError(f.err) {
 			return nil, false, f.err
 		}
-		return f.val, true, nil
+		// The leader failed for reasons private to it (its caller cancelled
+		// or its budget ran out); this waiter's request is still live, so
+		// compute directly rather than surface an error the waiter's caller
+		// did not cause. No new flight is registered — at most one wait plus
+		// one compute per call, so progress is guaranteed.
+		s.mu.Lock()
+		s.recomputed++
+		s.mu.Unlock()
+		v, err := runCompute(compute)
+		if err != nil {
+			return nil, false, err
+		}
+		c.store(s, k, v)
+		return v, false, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[k] = f
@@ -192,29 +243,65 @@ func (c *Cache) Do(k Key, compute func() (any, error)) (val any, hit bool, err e
 	s.mu.Unlock()
 	c.emit(obs.KindCacheMiss)
 
-	f.val, f.err = compute()
+	f.val, f.err = runCompute(compute)
 
 	s.mu.Lock()
 	delete(s.inflight, k)
-	evicted := 0
-	if f.err == nil {
-		e := &entry{key: k, val: f.val}
-		s.entries[k] = e
-		e.pushMRU(&s.lru)
-		for len(s.entries) > s.capacity {
-			victim := s.lru.prev
-			victim.unlink()
-			delete(s.entries, victim.key)
-			s.evictions++
-			evicted++
-		}
-	}
 	s.mu.Unlock()
 	close(f.done)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	c.store(s, k, f.val)
+	return f.val, false, nil
+}
+
+// personalError reports whether err is specific to the goroutine that
+// computed it rather than to the scheduling instance: context cancellation
+// and budget exhaustion depend on the caller's deadline, not the key.
+func personalError(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, sbudget.ErrExhausted)
+}
+
+// runCompute invokes compute, converting a panic into an error so flights
+// always complete.
+func runCompute(compute func() (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("memo: compute panicked: %v", p)
+		}
+	}()
+	return compute()
+}
+
+// store inserts v under k (refreshing the entry if a concurrent recompute
+// beat us to it) and applies the LRU bound, emitting eviction events.
+func (c *Cache) store(s *shard, k Key, v any) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		e.val = v
+		e.unlink()
+		e.pushMRU(&s.lru)
+		s.mu.Unlock()
+		return
+	}
+	e := &entry{key: k, val: v}
+	s.entries[k] = e
+	e.pushMRU(&s.lru)
+	evicted := 0
+	for len(s.entries) > s.capacity {
+		victim := s.lru.prev
+		victim.unlink()
+		delete(s.entries, victim.key)
+		s.evictions++
+		evicted++
+	}
+	s.mu.Unlock()
 	for i := 0; i < evicted; i++ {
 		c.emit(obs.KindCacheEvict)
 	}
-	return f.val, false, f.err
 }
 
 // Len returns the number of resident entries across all shards.
@@ -239,6 +326,7 @@ func (c *Cache) Counters() Counters {
 		t.Misses += s.misses
 		t.Evictions += s.evictions
 		t.Coalesced += s.coalesced
+		t.Recomputed += s.recomputed
 		s.mu.Unlock()
 	}
 	return t

@@ -85,6 +85,18 @@ const (
 	// arrived while another goroutine was already computing the same key and
 	// waited for that in-flight result instead of recomputing.
 	KindCacheCoalesce
+	// KindCancel is one scheduling request abandoned by context
+	// cancellation: the caller's context was done before or during the
+	// request, and the request returned the context's error instead of a
+	// schedule.
+	KindCancel
+	// KindDegrade is one budget-exhausted request served by the baseline
+	// greedy list schedule instead of the anticipatory scheduler; Label
+	// carries the exhaustion reason.
+	KindDegrade
+	// KindFault is one injected fault (internal/faultinject); Label names
+	// the injection site. Only tests produce these.
+	KindFault
 )
 
 // String returns the stable event-kind name used in exports.
@@ -122,6 +134,12 @@ func (k Kind) String() string {
 		return "cache-evict"
 	case KindCacheCoalesce:
 		return "cache-coalesce"
+	case KindCancel:
+		return "cancel"
+	case KindDegrade:
+		return "degrade"
+	case KindFault:
+		return "fault"
 	}
 	return "unknown"
 }

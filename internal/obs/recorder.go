@@ -96,6 +96,12 @@ type Stats struct {
 	CacheMisses    int `json:"cache_misses"`
 	CacheEvictions int `json:"cache_evictions"`
 	CacheCoalesced int `json:"cache_coalesced"`
+	// Robustness counters: requests abandoned by context cancellation,
+	// budget-exhausted requests served by the baseline fallback, and faults
+	// injected by internal/faultinject (tests only).
+	Cancellations  int `json:"cancellations"`
+	Degradations   int `json:"degradations"`
+	FaultsInjected int `json:"faults_injected"`
 	// Passes counts KindPassStart events per pass name.
 	Passes map[string]int `json:"passes"`
 }
@@ -183,6 +189,12 @@ func (r *Recorder) Stats() Stats {
 			s.CacheEvictions++
 		case KindCacheCoalesce:
 			s.CacheCoalesced++
+		case KindCancel:
+			s.Cancellations++
+		case KindDegrade:
+			s.Degradations++
+		case KindFault:
+			s.FaultsInjected++
 		}
 	}
 	for i, seg := range segs {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"slices"
 
+	"aisched/internal/faultinject"
 	"aisched/internal/graph"
 	"aisched/internal/machine"
+	"aisched/internal/sbudget"
 	"aisched/internal/sched"
 )
 
@@ -47,8 +49,19 @@ type Ctx struct {
 	oneBit graph.Bitset   // single-node changed set for UpdateOne
 	source []graph.NodeID // cached default tie order (program order)
 
+	// budget, when non-nil, is charged one pass (and consulted as a
+	// cancellation checkpoint) by every RunRanks. Anticipatory scheduling
+	// funnels all of its greedy reschedules — merge rounds, idle-slot
+	// demotions, loop candidates — through RunRanks, so setting the budget
+	// here makes the whole pipeline cooperatively cancellable and metered.
+	budget *sbudget.State
+
 	ls *sched.ListScheduler
 }
+
+// SetBudget installs the request's cancellation/budget checkpoint state; nil
+// (the default) disables checkpointing.
+func (c *Ctx) SetBudget(b *sbudget.State) { c.budget = b }
 
 // NewCtx analyses g once (topological order, descendant closure, per-node
 // descendant lists, unit-class mapping) and returns a context whose Compute,
@@ -328,6 +341,14 @@ func (c *Ctx) packFeasible(ds []descendant, at, window int) bool {
 // its refill test and the actual reschedule. The Result's Ranks field
 // aliases the input slice.
 func (c *Ctx) RunRanks(ranks, d []int, tie []graph.NodeID) (*Result, error) {
+	if h := faultinject.RankPass; h != nil {
+		h()
+	}
+	if c.budget != nil {
+		if err := c.budget.RankPass(); err != nil {
+			return nil, err
+		}
+	}
 	if tie == nil {
 		if c.source == nil {
 			c.source = sched.SourceOrder(c.g)

@@ -1,0 +1,115 @@
+package sbudget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aisched/internal/faultinject"
+)
+
+func TestNilStateIsFree(t *testing.T) {
+	var s *State
+	if err := s.Check(); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if err := s.RankPass(); err != nil {
+		t.Fatalf("nil RankPass: %v", err)
+	}
+	if got := s.Passes(); got != 0 {
+		t.Fatalf("nil Passes = %d", got)
+	}
+}
+
+func TestNewReturnsNilWhenNothingToEnforce(t *testing.T) {
+	if s := New(context.Background(), 0, 0); s != nil {
+		t.Fatalf("New(Background, 0, 0) = %v, want nil", s)
+	}
+	if s := New(nil, 0, 0); s != nil {
+		t.Fatalf("New(nil, 0, 0) = %v, want nil", s)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if s := New(ctx, 0, 0); s == nil {
+		t.Fatal("cancellable context must produce a state")
+	}
+	if s := New(context.Background(), time.Second, 0); s == nil {
+		t.Fatal("wall-clock budget must produce a state")
+	}
+	if s := New(context.Background(), 0, 1); s == nil {
+		t.Fatal("pass budget must produce a state")
+	}
+}
+
+func TestNewHonorsFaultHooks(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.BudgetExhaust = func() bool { return false }
+	if s := New(context.Background(), 0, 0); s == nil {
+		t.Fatal("installed BudgetExhaust hook must produce a state")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(ctx, 0, 0)
+	if err := s.Check(); err != nil {
+		t.Fatalf("pre-cancel Check: %v", err)
+	}
+	cancel()
+	if err := s.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Check = %v, want context.Canceled", err)
+	}
+	if errors.Is(s.Check(), ErrExhausted) {
+		t.Fatal("cancellation must not look like budget exhaustion")
+	}
+}
+
+func TestRankPassLimit(t *testing.T) {
+	s := New(context.Background(), 0, 3)
+	for i := 0; i < 3; i++ {
+		if err := s.RankPass(); err != nil {
+			t.Fatalf("pass %d: %v", i+1, err)
+		}
+	}
+	err := s.RankPass()
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("pass 4 = %v, want ErrExhausted", err)
+	}
+	if Reason(err) == "" {
+		t.Fatalf("exhaustion error %q carries no reason", err)
+	}
+	if got := s.Passes(); got != 4 {
+		t.Fatalf("Passes = %d, want 4", got)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	s := New(context.Background(), time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	err := s.Check()
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("expired deadline Check = %v, want ErrExhausted", err)
+	}
+	if Reason(err) == "" {
+		t.Fatal("wall-clock exhaustion carries no reason")
+	}
+}
+
+func TestForcedExhaustion(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.BudgetExhaust = faultinject.ForceExhaust(nil, "test")
+	s := New(context.Background(), 0, 0)
+	if err := s.Check(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("forced Check = %v, want ErrExhausted", err)
+	}
+}
+
+func TestReasonOnForeignError(t *testing.T) {
+	if r := Reason(errors.New("boom")); r != "" {
+		t.Fatalf("Reason(foreign) = %q", r)
+	}
+	if r := Reason(nil); r != "" {
+		t.Fatalf("Reason(nil) = %q", r)
+	}
+}

@@ -33,6 +33,11 @@ type Schedule struct {
 	// Unit[v] is the global unit index node v runs on (0-based across all
 	// classes, in class order), or Unassigned.
 	Unit []int
+	// Degraded is empty for a full anticipatory schedule. When the facade's
+	// scheduling budget was exhausted it holds the reason, and the schedule
+	// is the baseline greedy list schedule produced by graceful degradation
+	// (valid, but without the anticipatory guarantees).
+	Degraded string
 }
 
 // New returns an empty (all-unassigned) schedule for g on m.
@@ -52,7 +57,7 @@ func New(g *graph.Graph, m *machine.Machine) *Schedule {
 
 // Clone returns a deep copy sharing the graph and machine.
 func (s *Schedule) Clone() *Schedule {
-	c := &Schedule{G: s.G, M: s.M}
+	c := &Schedule{G: s.G, M: s.M, Degraded: s.Degraded}
 	c.Start = append([]int(nil), s.Start...)
 	c.Unit = append([]int(nil), s.Unit...)
 	return c

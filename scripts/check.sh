@@ -14,6 +14,18 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzScheduleBlock$' -fuzztime 10s .
+go test -run '^$' -fuzz '^FuzzScheduleTrace$' -fuzztime 10s .
+echo "== faultinject hooks must stay test-only"
+# The fault-injection registry is for tests: no non-test file outside the
+# package itself may assign a hook (matches `faultinject.X = ...`, not `==`).
+if grep -rn --include='*.go' -E 'faultinject\.[A-Z][A-Za-z]* *=[^=]' . \
+	| grep -v '_test\.go:' \
+	| grep -v '^\./internal/faultinject/'; then
+	echo "check: FAIL — faultinject hook assigned outside tests" >&2
+	exit 1
+fi
 echo "== benchsnap -compare BENCH_PR3.json"
 go run ./cmd/benchsnap -compare BENCH_PR3.json
 echo "check: OK"
