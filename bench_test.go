@@ -310,6 +310,33 @@ func BenchmarkScalingLookahead(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleTraceSize (P2): the facade trace path vs trace length —
+// the allocation-scaling study behind the arena core. With per-schedule
+// scratch arena-carved, allocs/op should grow far slower than the ns/op
+// (work) curve: the remaining allocations are the escaping results plus
+// one-time pool growth, not per-iteration bookkeeping.
+func BenchmarkScheduleTraceSize(b *testing.B) {
+	for _, blocks := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			r := rand.New(rand.NewSource(int64(blocks)))
+			cfg := workload.DefaultTrace()
+			cfg.Blocks = blocks
+			g, err := workload.Trace(r, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := machine.SingleUnit(4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ScheduleTrace(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulator: raw window-simulator throughput (cycles simulated per
 // second matters for the experiment harness).
 func BenchmarkSimulator(b *testing.B) {
@@ -470,7 +497,7 @@ func batchBenchItems(tb testing.TB, n, distinct int) []BatchItem {
 // BenchmarkScheduleBatch: amortized cost of the throughput layer on a 64-item
 // trace batch at 0% and ~90% duplicate rates (fresh Scheduler per op —
 // cold-cache honest), vs the serial uncached loop over the same ~90%-dup
-// items. Snapshotted in BENCH_PR3.json as BatchDup0/BatchDup90/SerialDup90.
+// items. Snapshotted in BENCH_PR5.json as BatchDup0/BatchDup90/SerialDup90.
 func BenchmarkScheduleBatch(b *testing.B) {
 	const n = 64
 	for _, v := range []struct {

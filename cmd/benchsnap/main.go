@@ -7,8 +7,13 @@
 // serial uncached entry point) — and writes it as JSON, or compares a fresh
 // run against a committed snapshot and fails beyond the tolerance:
 //
-//	go run ./cmd/benchsnap -o BENCH_PR3.json
-//	go run ./cmd/benchsnap -compare BENCH_PR3.json
+//	go run ./cmd/benchsnap -o BENCH_PR5.json
+//	go run ./cmd/benchsnap -compare BENCH_PR5.json
+//
+// -cpuprofile and -memprofile write pprof profiles covering the benchmark
+// measurements, for digging into a regression the gate reports:
+//
+//	go run ./cmd/benchsnap -cpuprofile cpu.out -memprofile mem.out
 //
 // Comparison prints a per-benchmark delta table and exits non-zero if any
 // allocs/op or ns/op delta exceeds ±tol% (default 2%), enforcing the ROADMAP
@@ -29,6 +34,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
@@ -58,13 +64,50 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file (ignored with -compare)")
+	out := flag.String("o", "BENCH_PR5.json", "output file (ignored with -compare)")
 	compare := flag.String("compare", "", "compare against this snapshot instead of writing one")
 	tol := flag.Float64("tol", 2.0, "regression budget in percent for -compare")
 	noisefloor := flag.Float64("noisefloor", 25.0, "minimum ns/op tolerance in percent (wall-clock noise on shared hardware)")
 	runs := flag.Int("runs", 3, "measurements per benchmark (best run kept)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-measurement deadline; a stalled benchmark is reported by name instead of hanging the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every benchmark measurement to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after a final GC) to this file")
 	flag.Parse()
+
+	// flushProfiles stops the CPU profile and writes the allocation profile.
+	// It must run on every exit path, including the os.Exit in the -compare
+	// branch, so it is invoked explicitly rather than deferred.
+	flushProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		flushProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		stopCPU := flushProfiles
+		path := *memprofile
+		flushProfiles = func() {
+			stopCPU()
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	defer flushProfiles()
 
 	// The same workloads as BenchmarkScheduleTrace / BenchmarkSimulateTrace /
 	// BenchmarkScheduleLoop in bench_test.go: a seed-11 random trace and the
@@ -191,7 +234,9 @@ func main() {
 				noise[name] = *noisefloor
 			}
 		}
-		os.Exit(compareSnapshots(*compare, snap, noise, *tol))
+		code := compareSnapshots(*compare, snap, noise, *tol)
+		flushProfiles()
+		os.Exit(code)
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -1,0 +1,121 @@
+package arena
+
+import (
+	"testing"
+
+	"aisched/internal/graph"
+)
+
+func TestAllocZeroedAndDisjoint(t *testing.T) {
+	var s Slab[int]
+	a := s.Alloc(10)
+	b := s.Alloc(20)
+	if len(a) != 10 || len(b) != 20 {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		a[i] = i + 1
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("b not zeroed: %v", b)
+		}
+	}
+	for i, v := range a {
+		if v != i+1 {
+			t.Fatalf("a clobbered by b's allocation: %v", a)
+		}
+	}
+}
+
+func TestAllocZeroLength(t *testing.T) {
+	var s Slab[int]
+	if got := s.Alloc(0); got != nil {
+		t.Fatalf("Alloc(0) = %v, want nil", got)
+	}
+}
+
+func TestResetReusesMemoryWithoutGrowth(t *testing.T) {
+	var s Slab[int]
+	s.Alloc(100)
+	s.Alloc(200)
+	blocks := len(s.blocks)
+	for round := 0; round < 50; round++ {
+		s.Reset()
+		x := s.Alloc(100)
+		y := s.Alloc(200)
+		for i := range x {
+			x[i] = round
+		}
+		for _, v := range y {
+			if v != 0 {
+				t.Fatalf("round %d: region not re-zeroed", round)
+			}
+		}
+	}
+	if len(s.blocks) != blocks {
+		t.Fatalf("blocks grew %d → %d across same-size rounds", blocks, len(s.blocks))
+	}
+}
+
+func TestResetAllocsNothingSteadyState(t *testing.T) {
+	var a Arena
+	// Warm up the capacity.
+	a.Ints.Alloc(500)
+	a.IDs.Alloc(500)
+	a.Bitset(500)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		a.Ints.Alloc(500)
+		a.IDs.Alloc(500)
+		a.Bitset(500)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestLargeRequestGetsOwnBlock(t *testing.T) {
+	var s Slab[byte]
+	small := s.Alloc(8)
+	big := s.Alloc(1 << 16)
+	if len(big) != 1<<16 {
+		t.Fatalf("big alloc length %d", len(big))
+	}
+	small[0] = 1
+	if big[0] != 0 {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestBitsetRowsDisjoint(t *testing.T) {
+	var a Arena
+	var rows []graph.Bitset
+	rows = a.BitsetRows(rows, 70)
+	if len(rows) != 70 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	rows[3].Set(69)
+	for i, r := range rows {
+		if i == 3 {
+			if !r.Has(69) {
+				t.Fatal("row 3 lost its bit")
+			}
+			continue
+		}
+		if !r.Empty() {
+			t.Fatalf("row %d dirtied by row 3", i)
+		}
+	}
+	// Reuse path keeps the header slice.
+	a.Reset()
+	again := a.BitsetRows(rows, 70)
+	if &again[0] == nil || cap(again) < 70 {
+		t.Fatal("rows not reused")
+	}
+	for i, r := range again {
+		if !r.Empty() {
+			t.Fatalf("row %d not zeroed after reset", i)
+		}
+	}
+}

@@ -22,10 +22,17 @@
 // provably optimal in the paper's restricted case (unit execution times, 0/1
 // latencies, single functional unit) and is the recommended heuristic
 // otherwise (§4.2).
+//
+// The merge loop is built on flat graph views: the trace graph is flattened
+// into a CSR once per call, each block's old ∪ new subgraph is an induced
+// view (graph.Sub) with a dense remap array instead of a rebuilt *Graph, and
+// one reusable rank context is Reset per view — so the per-block loop
+// allocates only the schedules it keeps.
 package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -38,15 +45,37 @@ import (
 	"aisched/internal/sched"
 )
 
-// laScratch pools Algorithm Lookahead's per-call whole-trace buffers (tie
-// positions and the stitched absolute schedule) so batch pipelines that
-// schedule many traces concurrently reuse them per worker instead of
-// reallocating per call. The final schedule copies out of absStart/absUnit,
+// laScratch pools Algorithm Lookahead's per-call buffers — whole-trace
+// arrays (tie positions, stitched absolute schedule, dense carried deadlines,
+// block grouping), the per-block merge state (induced view, rank context,
+// deadline/rank/tie/mask scratch) and the chop scratch — so batch pipelines
+// that schedule many traces concurrently reuse them per worker instead of
+// reallocating per call. The final Result copies out of everything pooled,
 // so nothing pooled escapes.
 type laScratch struct {
 	tiePos   []int
 	absStart []int
 	absUnit  []int
+	dOld     []int // carried-suffix deadlines, dense by original node ID
+	byBlock  []graph.NodeID
+
+	ctx *rank.Ctx
+	sub graph.Sub
+
+	ids         []graph.NodeID
+	oldIDs      []graph.NodeID
+	plusOrder   []graph.NodeID
+	emitted     []graph.NodeID
+	tie         []graph.NodeID
+	isOld       []bool
+	d           []int
+	ranks       []int
+	newMask     graph.Bitset
+	changedMask graph.Bitset
+
+	chop chopScratch
+
+	blockOff []int
 }
 
 var laPool = sync.Pool{New: func() any { return new(laScratch) }}
@@ -56,7 +85,29 @@ func (st *laScratch) grow(n int) {
 		st.tiePos = make([]int, n)
 		st.absStart = make([]int, n)
 		st.absUnit = make([]int, n)
+		st.dOld = make([]int, n)
+		st.byBlock = make([]graph.NodeID, n)
 	}
+}
+
+// growSlice returns buf resized to n, reusing its backing when possible.
+// Contents are unspecified; callers initialise what they read.
+func growSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// growBits returns a zeroed n-bit bitset, reusing b's backing when possible.
+func growBits(b graph.Bitset, n int) graph.Bitset {
+	w := (n + 63) / 64
+	if cap(b) < w {
+		return make(graph.Bitset, w)
+	}
+	b = b[:w]
+	clear(b)
+	return b
 }
 
 // Options tunes Algorithm Lookahead.
@@ -138,7 +189,8 @@ func Lookahead(g *graph.Graph, m *machine.Machine) (*Result, error) {
 
 // maxBump bounds the deadline-loosening loop in merge. The paper bounds it
 // by the largest latency (footnote 8); the node count covers degenerate
-// heuristic cases.
+// heuristic cases. The merge loop computes the same bound from its view's
+// node count and max latency; this graph form serves the reference path.
 func maxBump(g *graph.Graph) int {
 	maxLat := 1
 	for v := 0; v < g.Len(); v++ {
@@ -151,10 +203,14 @@ func maxBump(g *graph.Graph) int {
 	return 4 * (g.Len() + maxLat + 2)
 }
 
+// emptyBlockOrders is the shared immutable BlockOrders value of empty
+// results, so the zero-node path allocates no map.
+var emptyBlockOrders = map[int][]graph.NodeID{}
+
 // LookaheadOpts runs Algorithm Lookahead (paper Figure 5).
 func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, error) {
 	if g.Len() == 0 {
-		return &Result{Order: nil, BlockOrders: map[int][]graph.NodeID{}, S: sched.New(g, m)}, nil
+		return &Result{Order: nil, BlockOrders: emptyBlockOrders, S: sched.New(g, m)}, nil
 	}
 	if !g.IsAcyclic() {
 		return nil, fmt.Errorf("core: trace graph has a loop-independent cycle")
@@ -164,17 +220,13 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassLookahead,
 			Block: -1, Node: graph.None, N: g.Len()})
 	}
-	blocks := sched.Blocks(g)
-	byBlock := make(map[int][]graph.NodeID)
-	for v := 0; v < g.Len(); v++ {
-		b := g.Node(graph.NodeID(v)).Block
-		byBlock[b] = append(byBlock[b], graph.NodeID(v))
-	}
+	n := g.Len()
+	csr := graph.NewCSR(g)
 
 	scratch := laPool.Get().(*laScratch)
 	defer laPool.Put(scratch)
-	scratch.grow(g.Len())
-	tiePos := scratch.tiePos[:g.Len()]
+	scratch.grow(n)
+	tiePos := scratch.tiePos[:n]
 	if opt.Tie != nil {
 		for i, id := range opt.Tie {
 			tiePos[id] = i
@@ -185,64 +237,99 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		}
 	}
 
-	var emitted []graph.NodeID
-	var oldIDs []graph.NodeID // original IDs carried forward
-	dOld := map[graph.NodeID]int{}
+	// Group nodes by block with a stable sort of the identity permutation:
+	// within each block IDs stay ascending, and blocks are visited in
+	// ascending order — the same traversal the blocks/byBlock maps produced,
+	// without the maps, and robust to sparse block numbering.
+	byBlock := scratch.byBlock[:n]
+	for i := range byBlock {
+		byBlock[i] = graph.NodeID(i)
+	}
+	slices.SortStableFunc(byBlock, func(a, b graph.NodeID) int {
+		return csr.Block(a) - csr.Block(b)
+	})
+
+	if scratch.ctx == nil {
+		scratch.ctx = rank.NewReusable()
+	}
+	rc := scratch.ctx
+
+	emitted := scratch.emitted[:0]
+	oldIDs := scratch.oldIDs[:0] // original IDs carried forward
+	dOld := scratch.dOld[:n]     // deadlines of carried nodes, dense by original ID
 	oldMakespan := 0
-	var plusOrder []graph.NodeID // S+ of the most recent iteration, original IDs
+	plusOrder := scratch.plusOrder[:0] // S+ of the most recent iteration, original IDs
 	// Stitched absolute schedule: frames advance by each chop's base.
 	timeBase := 0
-	absStart := scratch.absStart[:g.Len()]
-	absUnit := scratch.absUnit[:g.Len()]
+	absStart := scratch.absStart[:n]
+	absUnit := scratch.absUnit[:n]
 	for i := range absStart {
 		absStart[i] = sched.Unassigned
 		absUnit[i] = sched.Unassigned
 	}
 
-	for _, b := range blocks {
+	for lo := 0; lo < n; {
+		hi := lo
+		b := csr.Block(byBlock[lo])
+		for hi < n && csr.Block(byBlock[hi]) == b {
+			hi++
+		}
+		newIDs := byBlock[lo:hi]
+		lo = hi
+
 		if err := opt.Budget.Check(); err != nil {
 			return nil, err
 		}
-		newIDs := byBlock[b]
-		// cur = old ∪ new, as an induced subgraph.
-		keep := make(map[graph.NodeID]bool, len(oldIDs)+len(newIDs))
+		// cur = old ∪ new, as an induced view of the trace CSR (ascending
+		// IDs; old and new are disjoint).
+		ids := append(scratch.ids[:0], oldIDs...)
+		ids = append(ids, newIDs...)
+		scratch.ids = ids
+		slices.Sort(ids)
+		scratch.sub.Init(csr, ids)
+		sn := scratch.sub.Len()
+		view := scratch.sub.View()
+
+		scratch.isOld = growSlice(scratch.isOld, sn)
+		isOld := scratch.isOld
+		clear(isOld)
 		for _, id := range oldIDs {
-			keep[id] = true
+			isOld[scratch.sub.ToSub(id)] = true
 		}
-		for _, id := range newIDs {
-			keep[id] = true
-		}
-		sub, ids := g.Induced(keep)
-		toSub := make(map[graph.NodeID]graph.NodeID, len(ids))
-		for si, oi := range ids {
-			toSub[oi] = graph.NodeID(si)
-		}
-		isOld := make([]bool, sub.Len())
-		for _, id := range oldIDs {
-			isOld[toSub[id]] = true
-		}
-		tie := subTie(ids, tiePos)
-		// One rank context per induced subgraph: the merge re-ranks, every
+		scratch.tie = subTieInto(scratch.tie, ids, tiePos)
+		tie := scratch.tie
+		// One rank context per induced view: the merge re-ranks, every
 		// loosening round and the whole Delay_Idle_Slots pass below share
-		// its cached topo order, descendant closure and scratch.
-		rc, err := rank.NewCtx(sub, m)
-		if err != nil {
+		// its cached topo order, descendant closure and scratch — and the
+		// context itself (arena included) is recycled across blocks and
+		// calls.
+		if err := rc.Reset(view, m, nil); err != nil {
 			return nil, err
 		}
 		rc.SetBudget(opt.Budget)
 
 		// ---- merge (paper Figure 7) ----
 		// Lower bound pass: every deadline = D.
-		res0, err := rc.Run(rank.UniformDeadlines(sub.Len(), rank.Big), tie)
+		scratch.d = growSlice(scratch.d, sn)
+		d := scratch.d
+		for i := range d {
+			d[i] = rank.Big
+		}
+		scratch.ranks = growSlice(scratch.ranks, sn)
+		ranks := scratch.ranks
+		if err := rc.ComputeInto(ranks, d); err != nil {
+			return nil, err
+		}
+		res0, err := rc.RunRanks(ranks, d, tie)
 		if err != nil {
 			return nil, err
 		}
 		t := res0.S.Makespan()
 		// Deadline assignment: old confined to its standalone makespan (or
 		// its previously committed tighter deadline), new bounded by T.
-		d := make([]int, sub.Len())
-		newMask := graph.NewBitset(sub.Len())
-		for si := 0; si < sub.Len(); si++ {
+		scratch.newMask = growBits(scratch.newMask, sn)
+		newMask := scratch.newMask
+		for si := 0; si < sn; si++ {
 			if isOld[si] {
 				d[si] = dOld[ids[si]]
 				if oldMakespan < d[si] {
@@ -253,20 +340,24 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 				newMask.Set(si)
 			}
 		}
-		ranks, err := rc.Compute(d)
-		if err != nil {
+		if err := rc.ComputeInto(ranks, d); err != nil {
 			return nil, err
 		}
 		res, err := rc.RunRanks(ranks, d, tie)
 		if err != nil {
 			return nil, err
 		}
-		for bump := 0; !res.Feasible && bump <= maxBump(sub); bump++ {
+		mb := 1
+		if view.MaxLat > mb {
+			mb = view.MaxLat
+		}
+		mb = 4 * (sn + mb + 2) // maxBump over the view
+		for bump := 0; !res.Feasible && bump <= mb; bump++ {
 			if tr != nil {
 				tr.Emit(obs.Event{Kind: obs.KindMergeLoosen, Block: b,
 					Node: graph.None, N: bump + 1})
 			}
-			for si := 0; si < sub.Len(); si++ {
+			for si := 0; si < sn; si++ {
 				if !isOld[si] {
 					d[si]++
 				}
@@ -286,10 +377,12 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		// followed by new); rather than abort, sync every deadline to the
 		// achieved finish time so the pipeline proceeds with the best
 		// schedule found.
+		scratch.changedMask = growBits(scratch.changedMask, sn)
+		changedMask := scratch.changedMask
 		for tries := 0; !res.Feasible && tries < 30; tries++ {
-			changedMask := graph.NewBitset(sub.Len())
+			clear(changedMask)
 			changed := false
-			for si := 0; si < sub.Len(); si++ {
+			for si := 0; si < sn; si++ {
 				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
 					d[si] = f
 					changedMask.Set(si)
@@ -306,7 +399,7 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 			}
 		}
 		if !res.Feasible {
-			for si := 0; si < sub.Len(); si++ {
+			for si := 0; si < sn; si++ {
 				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
 					d[si] = f
 				}
@@ -327,7 +420,7 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		}
 
 		// ---- chop ----
-		minus, plus, base := chop(s, m.Window)
+		minus, plus, base := scratch.chop.chop(s, m.Window)
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindChop, Block: b, Node: graph.None,
 				From: len(minus), To: len(plus), N: base})
@@ -339,7 +432,6 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 			absUnit[oi] = s.Unit[si]
 		}
 		oldIDs = oldIDs[:0]
-		dOld = map[graph.NodeID]int{}
 		plusOrder = plusOrder[:0]
 		for _, si := range plus {
 			oi := ids[si]
@@ -354,17 +446,50 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		timeBase += base
 	}
 	emitted = append(emitted, plusOrder...)
+	scratch.emitted = emitted[:0]
+	scratch.oldIDs = oldIDs[:0]
+	scratch.plusOrder = plusOrder[:0]
 
-	if len(emitted) != g.Len() {
-		return nil, fmt.Errorf("core: emitted %d of %d instructions", len(emitted), g.Len())
+	if len(emitted) != n {
+		return nil, fmt.Errorf("core: emitted %d of %d instructions", len(emitted), n)
 	}
 	final := sched.New(g, m)
 	copy(final.Start, absStart)
 	copy(final.Unit, absUnit)
-	out := &Result{Order: emitted, BlockOrders: map[int][]graph.NodeID{}, S: final}
+	out := &Result{Order: append([]graph.NodeID(nil), emitted...), S: final}
+	// BlockOrders: one presized map plus a single backing array carved into
+	// per-block subslices (counting pass, then append into fixed-cap
+	// windows), instead of per-block append-grown values.
+	maxBlock := 0
+	for v := 0; v < n; v++ {
+		if bb := csr.Block(graph.NodeID(v)); bb > maxBlock {
+			maxBlock = bb
+		}
+	}
+	scratch.blockOff = growSlice(scratch.blockOff, maxBlock+1)
+	cnt := scratch.blockOff
+	clear(cnt)
+	nblocks := 0
 	for _, id := range emitted {
-		b := g.Node(id).Block
-		out.BlockOrders[b] = append(out.BlockOrders[b], id)
+		bb := csr.Block(id)
+		cnt[bb]++
+		if cnt[bb] == 1 {
+			nblocks++
+		}
+	}
+	backing := make([]graph.NodeID, n)
+	out.BlockOrders = make(map[int][]graph.NodeID, nblocks)
+	off := 0
+	for bb := 0; bb <= maxBlock; bb++ {
+		if cnt[bb] == 0 {
+			continue
+		}
+		out.BlockOrders[bb] = backing[off:off : off+cnt[bb]]
+		off += cnt[bb]
+	}
+	for _, id := range emitted {
+		bb := csr.Block(id)
+		out.BlockOrders[bb] = append(out.BlockOrders[bb], id)
 	}
 	if tr != nil {
 		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassLookahead,
@@ -376,14 +501,37 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 // subTie converts the original-ID tie positions into a tie order over the
 // subgraph's IDs.
 func subTie(ids []graph.NodeID, tiePos []int) []graph.NodeID {
-	order := make([]graph.NodeID, len(ids))
+	return subTieInto(nil, ids, tiePos)
+}
+
+// subTieInto is subTie into a reusable buffer.
+func subTieInto(order []graph.NodeID, ids []graph.NodeID, tiePos []int) []graph.NodeID {
+	order = growSlice(order, len(ids))
 	for i := range order {
 		order[i] = graph.NodeID(i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return tiePos[ids[order[a]]] < tiePos[ids[order[b]]]
+	slices.SortStableFunc(order, func(a, b graph.NodeID) int {
+		return tiePos[ids[a]] - tiePos[ids[b]]
 	})
 	return order
+}
+
+// chop is the one-shot form of chopScratch.chop, returning caller-owned
+// slices; the merge loop goes through its pooled scratch instead.
+func chop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
+	var cs chopScratch
+	minus, plus, base = cs.chop(s, w)
+	return append([]graph.NodeID(nil), minus...), append([]graph.NodeID(nil), plus...), base
+}
+
+// chopScratch holds Chop's reusable buffers: the permutation, the per-cycle
+// busy-unit counts, and the prefix/suffix output slices (valid until the
+// next call).
+type chopScratch struct {
+	perm      []graph.NodeID
+	busyCount []int
+	minus     []graph.NodeID
+	plus      []graph.NodeID
 }
 
 // chop implements procedure Chop (paper Figure 6): split s at the last idle
@@ -396,33 +544,69 @@ func subTie(ids []graph.NodeID, tiePos []int) []graph.NodeID {
 // schedule-permutation order, and the time base (t_j + 1) by which suffix
 // deadlines must be rebased. When s has no idle slot, fewer than W
 // instructions, or no qualifying slot, the prefix is empty and everything
-// is carried forward (base 0).
-func chop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
-	perm := s.Permutation()
+// is carried forward (base 0). The returned slices alias the scratch.
+func (cs *chopScratch) chop(s *sched.Schedule, w int) (minus, plus []graph.NodeID, base int) {
+	// The permutation, built in place: assigned nodes ordered by (start,
+	// unit). (start, unit) pairs are distinct, so the comparator is a total
+	// order and any sorting algorithm yields the same permutation.
+	perm := cs.perm[:0]
+	for v := 0; v < s.Len(); v++ {
+		if s.Start[v] != sched.Unassigned {
+			perm = append(perm, graph.NodeID(v))
+		}
+	}
+	cs.perm = perm
+	slices.SortFunc(perm, func(a, b graph.NodeID) int {
+		if s.Start[a] != s.Start[b] {
+			return s.Start[a] - s.Start[b]
+		}
+		return s.Unit[a] - s.Unit[b]
+	})
 	if len(perm) < w {
 		return nil, perm, 0
 	}
+	// A cycle t < makespan holds an idle slot iff fewer than all units are
+	// busy at t; how many units are idle there does not matter to Chop, so
+	// per-cycle busy counts replace the materialised idle-slot list.
+	T := s.Makespan()
+	total := s.M.TotalUnits()
+	cs.busyCount = growSlice(cs.busyCount, T)
+	busyCount := cs.busyCount
+	clear(busyCount)
+	for _, id := range perm {
+		for t, f := s.Start[id], s.Finish(id); t < f && t < T; t++ {
+			busyCount[t]++
+		}
+	}
 	// perm is sorted by start time, so the follower count of a slot is a
-	// binary search away; no per-slot rescan of the permutation.
+	// binary search away; no per-slot rescan of the permutation. The
+	// follower count is nonincreasing in t, so the first qualifying slot of
+	// a descending scan is the last qualifying slot overall.
 	j := -1
-	for _, t := range s.IdleSlots() {
+	for t := T - 1; t >= 0; t-- {
+		if busyCount[t] >= total {
+			continue
+		}
 		lo := sort.Search(len(perm), func(i int) bool { return s.Start[perm[i]] > t })
-		if len(perm)-lo >= w && t > j {
+		if len(perm)-lo >= w {
 			j = t
+			break
 		}
 	}
 	if j < 0 {
 		return nil, perm, 0
 	}
+	cs.minus = cs.minus[:0]
+	cs.plus = cs.plus[:0]
 	for _, id := range perm {
 		if s.Finish(id) <= j {
-			minus = append(minus, id)
+			cs.minus = append(cs.minus, id)
 		} else {
-			plus = append(plus, id)
+			cs.plus = append(cs.plus, id)
 		}
 	}
-	if len(minus) == 0 {
+	if len(cs.minus) == 0 {
 		return nil, perm, 0
 	}
-	return minus, plus, j + 1
+	return cs.minus, cs.plus, j + 1
 }

@@ -85,3 +85,125 @@ func (b Bitset) ForEach(f func(i int)) {
 		}
 	}
 }
+
+// Word-parallel window kernels. These serve every consumer that tracks a
+// busy/issued window over time or stream positions — the schedule idle-slot
+// scans, the Delay_Idle_Slots unit timelines, and the hardware simulator's
+// lookahead window — so each package stops keeping its own []bool copy of
+// the same bookkeeping.
+
+// NextSet returns the index of the first set bit ≥ from, or -1 when none.
+func (b Bitset) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from / 64
+	if wi >= len(b) {
+		return -1
+	}
+	if w := b[wi] >> (uint(from) % 64); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b); wi++ {
+		if b[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(b[wi])
+		}
+	}
+	return -1
+}
+
+// NextClear returns the index of the first clear bit ≥ from. Bits beyond the
+// bitset's capacity count as clear, so the result may be ≥ 64·len(b);
+// callers bound the scan themselves.
+func (b Bitset) NextClear(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from / 64
+	if wi >= len(b) {
+		return from
+	}
+	if w := ^b[wi] >> (uint(from) % 64); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b); wi++ {
+		if w := ^b[wi]; w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return len(b) * 64
+}
+
+// SetRange sets every bit in [lo, hi) one word at a time.
+func (b Bitset) SetRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b)*64 {
+		hi = len(b) * 64
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)%64)
+	if loW == hiW {
+		b[loW] |= loMask & hiMask
+		return
+	}
+	b[loW] |= loMask
+	for w := loW + 1; w < hiW; w++ {
+		b[w] = ^uint64(0)
+	}
+	b[hiW] |= hiMask
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b Bitset) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b)*64 {
+		hi = len(b) * 64
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)%64)
+	if loW == hiW {
+		return bits.OnesCount64(b[loW] & loMask & hiMask)
+	}
+	n := bits.OnesCount64(b[loW]&loMask) + bits.OnesCount64(b[hiW]&hiMask)
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(b[w])
+	}
+	return n
+}
+
+// ZeroRange clears every bit in [lo, hi) one word at a time.
+func (b Bitset) ZeroRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b)*64 {
+		hi = len(b) * 64
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)%64)
+	if loW == hiW {
+		b[loW] &^= loMask & hiMask
+		return
+	}
+	b[loW] &^= loMask
+	for w := loW + 1; w < hiW; w++ {
+		b[w] = 0
+	}
+	b[hiW] &^= hiMask
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive reference versions of the window kernels.
+func naiveNextSet(b Bitset, from int) int {
+	for i := max(from, 0); i < len(b)*64; i++ {
+		if b.Has(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func naiveNextClear(b Bitset, from int) int {
+	for i := max(from, 0); ; i++ {
+		if i >= len(b)*64 || !b.Has(i) {
+			return i
+		}
+	}
+}
+
+func naiveCountRange(b Bitset, lo, hi int) int {
+	n := 0
+	for i := max(lo, 0); i < hi && i < len(b)*64; i++ {
+		if b.Has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBitsetKernelsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(200)
+		b := NewBitset(n)
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.3 {
+				b.Set(i)
+			}
+		}
+		for probe := 0; probe < 20; probe++ {
+			from := r.Intn(n + 10)
+			if got, want := b.NextSet(from), naiveNextSet(b, from); got != want {
+				t.Fatalf("NextSet(%d) = %d, want %d (n=%d)", from, got, want, n)
+			}
+			if got, want := b.NextClear(from), naiveNextClear(b, from); got != want {
+				t.Fatalf("NextClear(%d) = %d, want %d (n=%d)", from, got, want, n)
+			}
+			lo, hi := r.Intn(n+5), r.Intn(n+5)
+			if got, want := b.CountRange(lo, hi), naiveCountRange(b, lo, hi); got != want {
+				t.Fatalf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+			}
+		}
+		// SetRange / ZeroRange against per-bit loops.
+		lo, hi := r.Intn(n), r.Intn(n+1)
+		c := b.Clone()
+		c.SetRange(lo, hi)
+		d := b.Clone()
+		for i := lo; i < hi; i++ {
+			d.Set(i)
+		}
+		for i := 0; i < n; i++ {
+			if c.Has(i) != d.Has(i) {
+				t.Fatalf("SetRange(%d,%d) differs at bit %d", lo, hi, i)
+			}
+		}
+		c.ZeroRange(lo, hi)
+		for i := lo; i < hi; i++ {
+			d.Clear(i)
+		}
+		for i := 0; i < n; i++ {
+			if c.Has(i) != d.Has(i) {
+				t.Fatalf("ZeroRange(%d,%d) differs at bit %d", lo, hi, i)
+			}
+		}
+	}
+}

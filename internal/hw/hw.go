@@ -33,6 +33,10 @@ type simScratch struct {
 	pos      []int // flat [node*iters+iter] position index
 	finish   []int
 	unitFree []int
+	// pending mirrors issued: bit i set ⇔ stream position i has not issued.
+	// The window scans (issue pass, no-progress pass, head advance, occupancy)
+	// run word-parallel over it instead of walking issued linearly.
+	pending graph.Bitset
 }
 
 var simPool = sync.Pool{New: func() any { return new(simScratch) }}
@@ -170,6 +174,15 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 		issued[i] = -1
 		finish[i] = -1
 	}
+	words := (total + 63) / 64
+	if cap(st.pending) < words {
+		st.pending = make(graph.Bitset, words)
+	}
+	pending := st.pending[:words]
+	for i := range pending {
+		pending[i] = 0
+	}
+	pending.SetRange(0, total)
 
 	w := m.Window
 	totalUnits := m.TotalUnits()
@@ -199,12 +212,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 		if inWindow > total {
 			inWindow = total
 		}
-		occ := 0
-		for i := head; i < inWindow; i++ {
-			if issued[i] < 0 {
-				occ++
-			}
-		}
+		occ := pending.CountRange(head, inWindow)
 		if head != lastHead || occ != lastOcc {
 			tr.Emit(obs.Event{Kind: obs.KindWindow, Cycle: t, From: head, N: occ,
 				Block: -1, Node: graph.None})
@@ -233,10 +241,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 		if inWindow > total {
 			inWindow = total
 		}
-		for i := head; i < inWindow; i++ {
-			if issued[i] >= 0 {
-				continue
-			}
+		for i := pending.NextSet(head); i >= 0 && i < inWindow; i = pending.NextSet(i + 1) {
 			ins := stream[i]
 			if !ready(g, m, opt, pos, iters, finish, ins, t) {
 				continue
@@ -265,19 +270,17 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 				// schedules engineer.
 				nd := g.Node(ins.node)
 				fill, cross := false, false
-				for j := head; j < i; j++ {
-					if issued[j] < 0 {
-						over := stream[j]
-						fill = true
-						cross = g.Node(over.node).Block != nd.Block || over.iter != ins.iter
-						break
-					}
+				if j := pending.NextSet(head); j >= 0 && j < i {
+					over := stream[j]
+					fill = true
+					cross = g.Node(over.node).Block != nd.Block || over.iter != ins.iter
 				}
 				tr.Emit(obs.Event{Kind: obs.KindIssue, Cycle: t, Pos: i,
 					Node: ins.node, Label: nd.Label, Block: nd.Block,
 					Iter: ins.iter, Unit: unit, N: nd.Exec, Fill: fill, Cross: cross})
 			}
 			issued[i] = t
+			pending.Clear(i)
 			finish[i] = t + g.Node(ins.node).Exec
 			unitFree[unit] = finish[i]
 			done++
@@ -293,6 +296,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 					for j := i + 1; j < total; j++ {
 						if issued[j] >= 0 {
 							issued[j] = -1
+							pending.Set(j)
 							finish[j] = -1
 							done--
 							squashed++
@@ -314,8 +318,10 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 			}
 		}
 		// Advance the window head past the issued prefix.
-		for head < total && issued[head] >= 0 {
-			head++
+		if h := pending.NextSet(head); h >= 0 {
+			head = h
+		} else {
+			head = total
 		}
 		if tr != nil {
 			emitWindow(t)
@@ -323,10 +329,7 @@ func simulate(g *graph.Graph, m *machine.Machine, order []graph.NodeID, iters in
 		if !progress {
 			// Jump to the next time anything can change.
 			next := -1
-			for i := head; i < inWindow; i++ {
-				if issued[i] >= 0 {
-					continue
-				}
+			for i := pending.NextSet(head); i >= 0 && i < inWindow; i = pending.NextSet(i + 1) {
 				cand := earliestReady(g, m, opt, pos, iters, finish, stream[i])
 				base, count := unitRange(m, machine.UnitClass(g.Node(stream[i].node).Class))
 				uf := -1

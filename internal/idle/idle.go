@@ -19,7 +19,10 @@
 // is done once per pass, each demotion re-ranks only the demoted node's
 // ancestors (rank.Ctx.Update), the refill test and the reschedule share one
 // rank computation, and per-unit timelines index tail nodes and idle slots
-// instead of rescanning the schedule. ReferenceMoveIdleSlot and
+// instead of rescanning the schedule. The pass's own scratch — tentative
+// deadlines, rank buffer, three rotating unit timelines — is stashed on the
+// context (rank.Ctx.Aux) so repeated passes over one context allocate
+// nothing beyond the schedules themselves. ReferenceMoveIdleSlot and
 // ReferenceDelayIdleSlots retain the naive implementation for differential
 // tests.
 package idle
@@ -46,6 +49,16 @@ type MoveResult struct {
 	NewStart int
 }
 
+// moveOutcome is the allocation-free engine-internal MoveResult: the public
+// wrappers box it, Delay_Idle_Slots consumes it by value. d aliases the
+// context scratch on success and the caller's input on failure.
+type moveOutcome struct {
+	s        *sched.Schedule
+	d        []int
+	moved    bool
+	newStart int
+}
+
 // maxInner bounds the demote-and-reschedule loop; each iteration demotes one
 // more pre-slot node, so the loop is bounded by the node count anyway — the
 // constant guards against pathological general-machine behaviour.
@@ -54,21 +67,32 @@ const maxInner = 4
 // unitTimeline indexes one unit of a schedule: the node finishing at each
 // time and the idle-slot start times, built in one pass so Move_Idle_Slot's
 // per-iteration tail lookups and slot scans are O(1)/precomputed instead of
-// rescanning all nodes.
+// rescanning all nodes. Timelines are value scratch reinitialised with init;
+// the busy window is a bitset so slot collection is word-parallel.
 type unitTimeline struct {
 	finish []graph.NodeID // finish[t] = node on the unit finishing at t, or None
 	slots  []int          // idle-slot start times, ascending
+	busy   graph.Bitset
 }
 
-// newUnitTimeline builds the timeline of one unit of s in O(n + makespan).
-func newUnitTimeline(s *sched.Schedule, unit int) *unitTimeline {
+// init rebuilds the timeline of one unit of s in O(n + makespan), reusing
+// the receiver's backing arrays.
+func (tl *unitTimeline) init(s *sched.Schedule, unit int) {
 	T := s.Makespan()
-	tl := &unitTimeline{finish: make([]graph.NodeID, T+1)}
+	if cap(tl.finish) < T+1 {
+		tl.finish = make([]graph.NodeID, T+1)
+	}
+	tl.finish = tl.finish[:T+1]
 	for i := range tl.finish {
 		tl.finish[i] = graph.None
 	}
-	busy := make([]bool, T)
-	for v := 0; v < s.G.Len(); v++ {
+	words := (T + 63) / 64
+	if cap(tl.busy) < words {
+		tl.busy = make(graph.Bitset, words)
+	}
+	tl.busy = tl.busy[:words]
+	clear(tl.busy)
+	for v := 0; v < s.Len(); v++ {
 		if s.Start[v] == sched.Unassigned || s.Unit[v] != unit {
 			continue
 		}
@@ -76,16 +100,12 @@ func newUnitTimeline(s *sched.Schedule, unit int) *unitTimeline {
 		if f >= 0 && f < len(tl.finish) {
 			tl.finish[f] = graph.NodeID(v)
 		}
-		for t := s.Start[v]; t < f && t < T; t++ {
-			busy[t] = true
-		}
+		tl.busy.SetRange(s.Start[v], min(f, T))
 	}
-	for t := 0; t < T; t++ {
-		if !busy[t] {
-			tl.slots = append(tl.slots, t)
-		}
+	tl.slots = tl.slots[:0]
+	for t := tl.busy.NextClear(0); t < T; t = tl.busy.NextClear(t + 1) {
+		tl.slots = append(tl.slots, t)
 	}
-	return tl
 }
 
 // tail returns the node finishing exactly at time t on the unit, or None.
@@ -105,6 +125,36 @@ func slotOrdinal(slots []int, t int) int {
 		}
 	}
 	return -1
+}
+
+// delayScratch is the pass scratch stashed on a rank context (Aux): the
+// tentative deadline buffer, the rank buffer, and three unit timelines — the
+// caller-visible one plus two candidates the engine alternates between, so
+// the timeline of the input schedule (needed intact by the failure path) is
+// never clobbered.
+type delayScratch struct {
+	dd    []int
+	ranks []int
+	tls   [3]unitTimeline
+}
+
+// scratchFor returns the context's delay scratch, creating and stashing it
+// on first use.
+func scratchFor(c *rank.Ctx) *delayScratch {
+	if st, ok := c.Aux().(*delayScratch); ok {
+		return st
+	}
+	st := &delayScratch{}
+	c.SetAux(st)
+	return st
+}
+
+// grow returns buf resized to n, reusing its backing when possible.
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // MoveIdleSlot is Procedure Move_Idle_Slot (paper Figure 4) for the idle
@@ -131,8 +181,11 @@ func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, 
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := moveIdleSlot(c, s, d, unit, t, tie, tr, nil)
-	return res, err
+	out, _, err := moveIdleSlot(c, s, d, unit, t, tie, tr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &MoveResult{S: out.s, D: out.d, Moved: out.moved, NewStart: out.newStart}, nil
 }
 
 // moveIdleSlot is the engine behind MoveIdleSlotT: it reuses the shared rank
@@ -140,26 +193,44 @@ func MoveIdleSlotT(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, 
 // demoted tail's ancestors are re-ranked), shares the rank computation
 // between the refill test and the reschedule, and accepts/returns the unit
 // timeline of the input/result schedule so Delay_Idle_Slots never rebuilds
-// one it already has.
-func moveIdleSlot(c *rank.Ctx, s *sched.Schedule, d []int, unit, t int, tie []graph.NodeID, tr obs.Tracer, tl *unitTimeline) (*MoveResult, *unitTimeline, error) {
-	g := s.G
-	if len(d) != g.Len() {
-		return nil, nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
+// one it already has. All timelines live in the context's delay scratch; a
+// returned timeline is valid until the scratch cycles back to it (two more
+// successful moves), which is longer than any caller holds one.
+func moveIdleSlot(c *rank.Ctx, s *sched.Schedule, d []int, unit, t int, tie []graph.NodeID, tr obs.Tracer, tl *unitTimeline) (moveOutcome, *unitTimeline, error) {
+	n := s.Len()
+	if len(d) != n {
+		return moveOutcome{}, nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), n)
 	}
-	fail := &MoveResult{S: s, D: d, Moved: false, NewStart: t}
+	st := scratchFor(c)
+	fail := moveOutcome{s: s, d: d, moved: false, newStart: t}
 
 	if tl == nil {
-		tl = newUnitTimeline(s, unit)
+		tl = &st.tls[0]
+		tl.init(s, unit)
 	}
+	// The two timelines the engine may build results into: the slots of the
+	// scratch not holding the input timeline.
+	var cands [2]*unitTimeline
+	k := 0
+	for i := range st.tls {
+		if &st.tls[i] != tl && k < 2 {
+			cands[k] = &st.tls[i]
+			k++
+		}
+	}
+	flip := 0
+
 	ordinal := slotOrdinal(tl.slots, t)
 	if ordinal < 0 {
-		return nil, nil, fmt.Errorf("idle: no idle slot at time %d on unit %d", t, unit)
+		return moveOutcome{}, nil, fmt.Errorf("idle: no idle slot at time %d on unit %d", t, unit)
 	}
 
-	// Tentative deadline state; committed only on success.
-	dd := append([]int(nil), d...)
+	// Tentative deadline state; surfaced to the caller only on success.
+	st.dd = grow(st.dd, n)
+	dd := st.dd
+	copy(dd, d)
 	// Step (a): nodes scheduled prior to the slot must stay prior to it.
-	for v := 0; v < g.Len(); v++ {
+	for v := 0; v < n; v++ {
 		if s.Finish(graph.NodeID(v)) <= t && dd[v] > t {
 			dd[v] = t
 		}
@@ -167,32 +238,33 @@ func moveIdleSlot(c *rank.Ctx, s *sched.Schedule, d []int, unit, t int, tie []gr
 
 	cur, curTL := s, tl
 	oldMakespan := s.Makespan()
-	var ranks []int
-	for iter := 0; iter < g.Len()*maxInner; iter++ {
+	st.ranks = grow(st.ranks, n)
+	ranks := st.ranks
+	ranked := false
+	for iter := 0; iter < n*maxInner; iter++ {
 		// The tail node a_i: finishes exactly at the slot start on this unit.
 		tail := curTL.tail(t)
 		if tail == graph.None {
 			return fail, tl, nil // slot preceded by idle time: nothing to demote
 		}
 		newDeadline := t - 1
-		if newDeadline < g.Node(tail).Exec {
+		if newDeadline < c.Exec(tail) {
 			return fail, tl, nil // the tail cannot finish any earlier
 		}
 		// In a feasible schedule finish(tail) = t ≤ dd[tail], so this always
 		// tightens.
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindDeadlineTighten, Node: tail,
-				Label: g.Node(tail).Label, Block: g.Node(tail).Block,
+				Label: c.Label(tail), Block: c.Block(tail),
 				Unit: unit, Cycle: t, From: dd[tail], To: newDeadline})
 		}
 		dd[tail] = newDeadline
 
-		if ranks == nil {
-			var err error
-			ranks, err = c.Compute(dd)
-			if err != nil {
-				return nil, nil, err
+		if !ranked {
+			if err := c.ComputeInto(ranks, dd); err != nil {
+				return moveOutcome{}, nil, err
 			}
+			ranked = true
 		} else {
 			// Only dd[tail] changed since the previous iteration's ranks:
 			// re-rank just the tail and its ancestors.
@@ -201,7 +273,7 @@ func moveIdleSlot(c *rank.Ctx, s *sched.Schedule, d []int, unit, t int, tie []gr
 		// Failure test of Figure 4: some pre-slot node must still be allowed
 		// to complete at t, otherwise the vacated slot cannot be refilled.
 		refill := false
-		for v := 0; v < g.Len(); v++ {
+		for v := 0; v < n; v++ {
 			if cur.Finish(graph.NodeID(v)) <= t && ranks[v] >= t {
 				refill = true
 				break
@@ -214,21 +286,23 @@ func moveIdleSlot(c *rank.Ctx, s *sched.Schedule, d []int, unit, t int, tie []gr
 		// The reschedule shares the ranks the refill test just used.
 		res, err := c.RunRanks(ranks, dd, tie)
 		if err != nil {
-			return nil, nil, err
+			return moveOutcome{}, nil, err
 		}
 		if !res.Feasible || res.S.Makespan() > oldMakespan {
 			return fail, tl, nil
 		}
-		resTL := newUnitTimeline(res.S, unit)
+		resTL := cands[flip]
+		flip = 1 - flip
+		resTL.init(res.S, unit)
 		slots := resTL.slots
 		if ordinal >= len(slots) {
 			// Slot eliminated (heuristic regime): success.
-			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: -1}, resTL, nil
+			return moveOutcome{s: res.S, d: dd, moved: true, newStart: -1}, resTL, nil
 		}
 		nt := slots[ordinal]
 		switch {
 		case nt > t:
-			return &MoveResult{S: res.S, D: dd, Moved: true, NewStart: nt}, resTL, nil
+			return moveOutcome{s: res.S, d: dd, moved: true, newStart: nt}, resTL, nil
 		case nt < t:
 			// Should be impossible given the pre-slot caps; bail out safely.
 			return fail, tl, nil
@@ -261,11 +335,13 @@ func DelayIdleSlotsT(s *sched.Schedule, m *machine.Machine, d []int, tie []graph
 }
 
 // DelayIdleSlotsCtx is DelayIdleSlotsT on a caller-supplied rank context
-// (which must have been built for s.G): Algorithm Lookahead holds one
-// context per merged subgraph and shares it between the merge re-ranks and
-// this pass.
+// (which must have been built for s's graph — or, for schedules produced
+// from an induced graph view, for a view of the same size): Algorithm
+// Lookahead holds one context per merged subgraph and shares it between the
+// merge re-ranks and this pass. The returned deadline slice is freshly
+// allocated and owned by the caller.
 func DelayIdleSlotsCtx(c *rank.Ctx, s *sched.Schedule, d []int, tie []graph.NodeID, tr obs.Tracer) (*sched.Schedule, []int, error) {
-	if c.Graph() != s.G {
+	if c.Len() != s.Len() || (c.Graph() != nil && s.G != nil && c.Graph() != s.G) {
 		return nil, nil, fmt.Errorf("idle: rank context built for a different graph")
 	}
 	m := c.Machine()
@@ -273,28 +349,31 @@ func DelayIdleSlotsCtx(c *rank.Ctx, s *sched.Schedule, d []int, tie []graph.Node
 		tr.Emit(obs.Event{Kind: obs.KindPassStart, Pass: obs.PassDelayIdleSlots,
 			Block: -1, Node: graph.None, N: len(s.IdleSlots())})
 	}
+	st := scratchFor(c)
 	cur := s
 	dd := append([]int(nil), d...)
 	for unit := 0; unit < m.TotalUnits(); unit++ {
-		tl := newUnitTimeline(cur, unit)
+		tl := &st.tls[0]
+		tl.init(cur, unit)
 		ordinal := 0
-		for guard := 0; guard < cur.G.Len()*(cur.Makespan()+2); guard++ {
+		for guard := 0; guard < cur.Len()*(cur.Makespan()+2); guard++ {
 			slots := tl.slots
 			if ordinal >= len(slots) {
 				break
 			}
-			res, resTL, err := moveIdleSlot(c, cur, dd, unit, slots[ordinal], tie, tr, tl)
+			from := slots[ordinal]
+			out, resTL, err := moveIdleSlot(c, cur, dd, unit, from, tie, tr, tl)
 			if err != nil {
 				return nil, nil, err
 			}
-			if res.Moved {
+			if out.moved {
 				if tr != nil {
 					tr.Emit(obs.Event{Kind: obs.KindSlotMove, Unit: unit,
 						Block: -1, Node: graph.None,
-						From: slots[ordinal], To: res.NewStart})
+						From: from, To: out.newStart})
 				}
-				cur = res.S
-				dd = res.D
+				cur = out.s
+				copy(dd, out.d)
 				tl = resTL
 				continue // same ordinal: try to push it further
 			}

@@ -63,11 +63,16 @@ func scheduleLoopTraceOpts(g *graph.Graph, m *machine.Machine, o Opts) (*Steady,
 		nd := g.Node(graph.NodeID(v))
 		aug.AddNode(nd.Label, nd.Exec, nd.Class, nd.Block)
 	}
-	clone := map[graph.NodeID]graph.NodeID{}
+	// clone[v] is the next-iteration copy of first-block node v, or None —
+	// a dense remap array (node IDs are compact) instead of a map.
+	clone := make([]graph.NodeID, n)
+	for v := range clone {
+		clone[v] = graph.None
+	}
 	for v := 0; v < n; v++ {
 		nd := g.Node(graph.NodeID(v))
 		if nd.Block == first {
-			clone[graph.NodeID(v)] = aug.AddNode(nd.Label+"'", nd.Exec, nd.Class, nextBlock)
+			clone[v] = aug.AddNode(nd.Label+"'", nd.Exec, nd.Class, nextBlock)
 		}
 	}
 	for _, e := range g.Edges() {
@@ -75,13 +80,11 @@ func scheduleLoopTraceOpts(g *graph.Graph, m *machine.Machine, o Opts) (*Steady,
 		case e.Distance == 0:
 			aug.MustEdge(e.Src, e.Dst, e.Latency, 0)
 			// The clone keeps the first block's internal structure.
-			if cs, ok := clone[e.Src]; ok {
-				if cd, ok2 := clone[e.Dst]; ok2 {
-					aug.MustEdge(cs, cd, e.Latency, 0)
-				}
+			if cs, cd := clone[e.Src], clone[e.Dst]; cs != graph.None && cd != graph.None {
+				aug.MustEdge(cs, cd, e.Latency, 0)
 			}
 		case e.Distance == 1:
-			if cd, ok := clone[e.Dst]; ok {
+			if cd := clone[e.Dst]; cd != graph.None {
 				aug.MustEdge(e.Src, cd, e.Latency, 0)
 			}
 		}

@@ -109,15 +109,33 @@ func singleSinkOrderB(g *graph.Graph, m *machine.Machine, y graph.NodeID, bs *sb
 	return out, nil
 }
 
+// ctxPool recycles rank contexts across candidate evaluations: every
+// candidate schedules its own private graph, but the context's arena, list
+// buffers, and Delay_Idle_Slots scratch all reach steady-state capacity after
+// the first few candidates and are reused instead of reallocated. sync.Pool
+// keeps the concurrent candidate workers from contending over one context.
+var ctxPool = sync.Pool{New: func() any { return rank.NewReusable() }}
+
+// pooledCtx checks out a context and resets it onto gp.
+func pooledCtx(gp *graph.Graph, m *machine.Machine, bs *sbudget.State) (*rank.Ctx, error) {
+	c := ctxPool.Get().(*rank.Ctx)
+	if err := c.Reset(graph.NewCSR(gp).View(), m, gp); err != nil {
+		ctxPool.Put(c)
+		return nil, err
+	}
+	c.SetBudget(bs)
+	return c, nil
+}
+
 // scheduleAndDrop runs rank_alg + Delay_Idle_Slots on the acyclic graph and
 // returns the schedule's permutation with the dummy node removed. One rank
 // context serves both the makespan schedule and the whole delay pass.
 func scheduleAndDrop(gp *graph.Graph, m *machine.Machine, dummy graph.NodeID, bs *sbudget.State) ([]graph.NodeID, error) {
-	c, err := rank.NewCtx(gp, m)
+	c, err := pooledCtx(gp, m, bs)
 	if err != nil {
 		return nil, err
 	}
-	c.SetBudget(bs)
+	defer ctxPool.Put(c)
 	res, err := c.Run(rank.UniformDeadlines(gp.Len(), rank.Big), nil)
 	if err != nil {
 		return nil, err
@@ -149,10 +167,13 @@ func Candidates(g *graph.Graph) (sources, sinks []graph.NodeID) {
 // candidatesLI is Candidates with an optional precomputed loop-independent
 // subgraph (computed on demand when nil).
 func candidatesLI(g, li *graph.Graph) (sources, sinks []graph.NodeID) {
-	srcSet := map[graph.NodeID]bool{}
-	sinkSet := map[graph.NodeID]bool{}
+	n := g.Len()
+	// Dense membership sets — node IDs are compact, so []bool beats maps on
+	// both lookups and allocation count.
+	srcSet := make([]bool, n)
+	sinkSet := make([]bool, n)
 	maxLat := 0
-	for v := 0; v < g.Len(); v++ {
+	for v := 0; v < n; v++ {
 		for _, e := range g.Out(graph.NodeID(v)) {
 			if e.Latency > maxLat {
 				maxLat = e.Latency
@@ -167,30 +188,24 @@ func candidatesLI(g, li *graph.Graph) (sources, sinks []graph.NodeID) {
 		if li == nil {
 			li = g.LoopIndependent()
 		}
-		liSources := map[graph.NodeID]bool{}
+		liSources := make([]bool, n)
 		for _, s := range li.Sources() {
 			liSources[s] = true
 		}
-		liSinks := map[graph.NodeID]bool{}
+		liSinks := make([]bool, n)
 		for _, s := range li.Sinks() {
 			liSinks[s] = true
 		}
-		for id := range srcSet {
-			if !liSources[id] {
-				delete(srcSet, id)
-			}
-		}
-		for id := range sinkSet {
-			if !liSinks[id] {
-				delete(sinkSet, id)
-			}
+		for v := 0; v < n; v++ {
+			srcSet[v] = srcSet[v] && liSources[v]
+			sinkSet[v] = sinkSet[v] && liSinks[v]
 		}
 	}
-	for v := 0; v < g.Len(); v++ {
-		if srcSet[graph.NodeID(v)] {
+	for v := 0; v < n; v++ {
+		if srcSet[v] {
 			sources = append(sources, graph.NodeID(v))
 		}
-		if sinkSet[graph.NodeID(v)] {
+		if sinkSet[v] {
 			sinks = append(sinks, graph.NodeID(v))
 		}
 	}
@@ -209,11 +224,11 @@ func ScheduleSingleBlockLoop(g *graph.Graph, m *machine.Machine) (*Steady, error
 // baseOrder computes the baseline candidate: the block-optimal order from
 // the Rank Algorithm + Delay_Idle_Slots on the loop-independent subgraph.
 func baseOrder(li *graph.Graph, m *machine.Machine, bs *sbudget.State) ([]graph.NodeID, error) {
-	c, err := rank.NewCtx(li, m)
+	c, err := pooledCtx(li, m, bs)
 	if err != nil {
 		return nil, err
 	}
-	c.SetBudget(bs)
+	defer ctxPool.Put(c)
 	res, err := c.Run(rank.UniformDeadlines(li.Len(), rank.Big), nil)
 	if err != nil {
 		return nil, err

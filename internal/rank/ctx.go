@@ -3,7 +3,9 @@ package rank
 import (
 	"fmt"
 	"slices"
+	"sort"
 
+	"aisched/internal/arena"
 	"aisched/internal/faultinject"
 	"aisched/internal/graph"
 	"aisched/internal/machine"
@@ -11,7 +13,7 @@ import (
 	"aisched/internal/sched"
 )
 
-// Ctx is a reusable rank-computation context for one (graph, machine) pair.
+// Ctx is a reusable rank-computation context for one graph view and machine.
 // It caches every per-graph invariant the Rank Algorithm needs — topological
 // order and positions, descendant bitsets, per-node descendant lists
 // pre-sorted by topological position, effective unit classes — and owns the
@@ -19,22 +21,28 @@ import (
 // slice-based occupancy windows, list-building arrays, a reusable greedy
 // list scheduler) that the one-shot API used to reallocate on every call.
 //
-// Anticipatory scheduling calls the Rank Algorithm hundreds of times per
-// basic block on the same graph with slightly different deadlines
-// (Delay_Idle_Slots demotes one deadline per re-rank; merge loosens the new
-// nodes' deadlines by one per round), so callers that hold a Ctx pay the
-// graph analysis once and each re-rank touches only scratch memory. Update
-// additionally makes those re-ranks incremental: only the changed nodes and
-// their ancestors are recomputed.
+// All per-graph analysis arrays are carved from a context-owned arena, so
+// Reset rebinds the context to a new graph view without allocating once the
+// arena has grown to working-set size. Anticipatory scheduling calls the
+// Rank Algorithm hundreds of times per basic block on the same graph with
+// slightly different deadlines (Delay_Idle_Slots demotes one deadline per
+// re-rank; merge loosens the new nodes' deadlines by one per round), and the
+// lookahead merge loop additionally re-analyses a fresh induced subgraph per
+// block — with a Reset-able Ctx both layers pay zero steady-state
+// allocations for the analysis. Update makes re-ranks incremental: only the
+// changed nodes and their ancestors are recomputed.
 //
 // A Ctx is not safe for concurrent use; create one per goroutine.
 type Ctx struct {
-	g *graph.Graph
-	m *machine.Machine
+	g    *graph.Graph // graph behind the view, or nil for induced views
+	m    *machine.Machine
+	view graph.AdjView
 
-	order   []graph.NodeID // topological order over distance-0 edges
-	topoPos []int          // topoPos[v] = index of v in order
-	desc    []graph.Bitset // distance-0 transitive successors per node
+	ar arena.Arena // backs all per-Reset analysis and scratch below
+
+	order   []graph.NodeID   // topological order over distance-0 edges
+	topoPos []int            // topoPos[v] = index of v in order
+	desc    []graph.Bitset   // distance-0 transitive successors per node
 	members [][]graph.NodeID // desc[v] as a list sorted by topological position
 
 	class    []int // effective unit class per node (0 on single-unit machines)
@@ -56,61 +64,138 @@ type Ctx struct {
 	// here makes the whole pipeline cooperatively cancellable and metered.
 	budget *sbudget.State
 
-	ls *sched.ListScheduler
+	ls sched.ListScheduler
+
+	// aux lets the passes layered on the Rank Algorithm (internal/idle)
+	// stash their own per-context scratch so it is recycled together with
+	// the context.
+	aux any
 }
 
 // SetBudget installs the request's cancellation/budget checkpoint state; nil
 // (the default) disables checkpointing.
 func (c *Ctx) SetBudget(b *sbudget.State) { c.budget = b }
 
+// Aux returns the scratch value stashed by SetAux, or nil.
+func (c *Ctx) Aux() any { return c.aux }
+
+// SetAux stashes a caller-owned scratch value on the context.
+func (c *Ctx) SetAux(a any) { c.aux = a }
+
+// NewReusable returns an empty context; call Reset to bind it to a graph
+// view before use. NewCtx is the one-shot equivalent.
+func NewReusable() *Ctx { return &Ctx{} }
+
 // NewCtx analyses g once (topological order, descendant closure, per-node
 // descendant lists, unit-class mapping) and returns a context whose Compute,
 // Update and RunRanks reuse that analysis. Fails if the loop-independent
 // subgraph is cyclic.
 func NewCtx(g *graph.Graph, m *machine.Machine) (*Ctx, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
+	c := NewReusable()
+	if err := c.Reset(graph.NewCSR(g).View(), m, g); err != nil {
 		return nil, err
 	}
-	// The successful topological sort establishes acyclicity, so the
-	// descendant closure and list scheduler skip their own validation.
-	desc := g.DescendantsFrom(order)
-	ls := sched.NewListSchedulerAcyclic(g, m)
-	n := g.Len()
-	c := &Ctx{
-		g:       g,
-		m:       m,
-		order:   order,
-		topoPos: make([]int, n),
-		desc:    desc,
-		members: make([][]graph.NodeID, n),
-		class:   make([]int, n),
-		delta:   make([]int, n),
-		pos:     make([]int, n),
-		list:    make([]graph.NodeID, n),
-		ls:      ls,
+	return c, nil
+}
+
+// Reset rebinds the context to a new adjacency view, recomputing the graph
+// analysis into the context's arena. g may be nil when the view is an
+// induced subgraph with no standalone *Graph. The budget and aux stash
+// survive only within one binding: budget is cleared, aux is kept (it is
+// sized scratch, not graph state). Fails — leaving the context unusable
+// until the next successful Reset — if the view has a cycle.
+func (c *Ctx) Reset(view graph.AdjView, m *machine.Machine, g *graph.Graph) error {
+	c.g, c.m, c.view = g, m, view
+	c.budget = nil
+	c.source = nil
+	c.ar.Reset()
+	n := view.N
+
+	ints := &c.ar.Ints
+	c.topoPos = ints.Alloc(n)
+	c.delta = ints.Alloc(n)
+	c.pos = ints.Alloc(n)
+	c.class = ints.Alloc(n)
+	ids := &c.ar.IDs
+	c.order = ids.Alloc(n)
+	c.list = ids.Alloc(n)
+	c.oneBit = c.ar.Bitset(n)
+	c.desc = c.ar.BitsetRows(c.desc, n)
+
+	// Topological sort over the flat adjacency (same sorted-insert frontier
+	// as graph.TopoOrder, so the resulting order — and everything downstream
+	// — is identical to the slice-backed path). delta doubles as the
+	// in-degree scratch; rankNode re-initialises it per use.
+	indeg := c.delta
+	for _, d := range view.Dst[:view.Off[n]] {
+		indeg[d]++
 	}
+	frontier := c.list[:0]
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			frontier = append(frontier, graph.NodeID(id))
+		}
+	}
+	order := c.order[:0]
+	head := 0
+	for head < len(frontier) {
+		id := frontier[head]
+		head++
+		order = append(order, id)
+		for e := view.Off[id]; e < view.Off[id+1]; e++ {
+			dst := view.Dst[e]
+			indeg[dst]--
+			if indeg[dst] == 0 {
+				i := head + sort.Search(len(frontier)-head, func(k int) bool { return frontier[head+k] > dst })
+				frontier = append(frontier, 0)
+				copy(frontier[i+1:], frontier[i:])
+				frontier[i] = dst
+			}
+		}
+	}
+	if len(order) != n {
+		return fmt.Errorf("graph: loop-independent subgraph has a cycle (%d of %d nodes ordered)", len(order), n)
+	}
+	c.order = order
 	for i, id := range order {
 		c.topoPos[id] = i
 	}
+
+	// Descendant closure in reverse topological order (graph.DescendantsFrom
+	// over the flat arrays).
+	for i := n - 1; i >= 0; i-- {
+		id := order[i]
+		for e := view.Off[id]; e < view.Off[id+1]; e++ {
+			dst := view.Dst[e]
+			c.desc[id].Set(int(dst))
+			c.desc[id].UnionWith(c.desc[dst])
+		}
+	}
+
 	total := 0
 	for v := 0; v < n; v++ {
-		total += desc[v].Count()
+		total += c.desc[v].Count()
 	}
-	backing := make([]graph.NodeID, 0, total)
+	backing := ids.Alloc(total)
+	if cap(c.members) < n {
+		c.members = make([][]graph.NodeID, n)
+	}
+	c.members = c.members[:n]
+	k := 0
 	for v := 0; v < n; v++ {
-		start := len(backing)
-		desc[v].ForEach(func(u int) { backing = append(backing, graph.NodeID(u)) })
-		mem := backing[start:len(backing):len(backing)]
+		start := k
+		c.desc[v].ForEach(func(u int) { backing[k] = graph.NodeID(u); k++ })
+		mem := backing[start:k:k]
 		// Topological positions are a permutation, so this sort has no ties
 		// and any sorting algorithm yields the same deterministic order.
 		slices.SortFunc(mem, func(a, b graph.NodeID) int { return c.topoPos[a] - c.topoPos[b] })
 		c.members[v] = mem
 	}
+
 	maxClass := 0
 	single := m.SingleUnitOnly()
 	for v := 0; v < n; v++ {
-		cls := g.Node(graph.NodeID(v)).Class
+		cls := int(view.Class[v])
 		if single {
 			cls = 0
 		}
@@ -119,7 +204,10 @@ func NewCtx(g *graph.Graph, m *machine.Machine) (*Ctx, error) {
 			maxClass = cls
 		}
 	}
-	c.unitsFor = make([]int, maxClass+1)
+	if cap(c.unitsFor) < maxClass+1 {
+		c.unitsFor = make([]int, maxClass+1)
+	}
+	c.unitsFor = c.unitsFor[:maxClass+1]
 	for cls := range c.unitsFor {
 		u := m.UnitsFor(machine.UnitClass(cls))
 		if u == 0 {
@@ -127,26 +215,61 @@ func NewCtx(g *graph.Graph, m *machine.Machine) (*Ctx, error) {
 		}
 		c.unitsFor[cls] = u
 	}
-	c.occ = make([][]int, maxClass+1)
-	return c, nil
+	// occ rows persist across Resets (packFeasible sizes them lazily); only
+	// the header grows, and it never shrinks so grown rows stay reusable.
+	for len(c.occ) <= maxClass {
+		c.occ = append(c.occ, nil)
+	}
+
+	c.ls.Reset(view, m, g)
+	return nil
 }
 
-// Graph returns the graph this context was built for.
+// Graph returns the graph this context was built for, or nil when it was
+// Reset onto an induced view with no standalone graph.
 func (c *Ctx) Graph() *graph.Graph { return c.g }
 
 // Machine returns the machine this context was built for.
 func (c *Ctx) Machine() *machine.Machine { return c.m }
 
+// Len reports the node count of the bound view.
+func (c *Ctx) Len() int { return c.view.N }
+
+// Exec returns the execution time of node v in the bound view.
+func (c *Ctx) Exec(v graph.NodeID) int { return int(c.view.Exec[v]) }
+
+// Label returns the label of node v in the bound view.
+func (c *Ctx) Label(v graph.NodeID) string { return c.view.Labels[v] }
+
+// Block returns the block index of node v in the bound view.
+func (c *Ctx) Block(v graph.NodeID) int { return int(c.view.Block[v]) }
+
+// View returns the adjacency view the context is bound to.
+func (c *Ctx) View() graph.AdjView { return c.view }
+
 // Compute returns rank(v) for every node under deadlines d (see the
 // package-level Compute for the definition). The returned slice is freshly
 // allocated and owned by the caller; feed it back to Update for incremental
-// re-ranking and to RunRanks for scheduling.
+// re-ranking and to RunRanks for scheduling. ComputeInto is the
+// allocation-free variant.
 func (c *Ctx) Compute(d []int) ([]int, error) {
-	n := c.g.Len()
-	if len(d) != n {
-		return nil, fmt.Errorf("rank: %d deadlines for %d nodes", len(d), n)
+	ranks := make([]int, c.view.N)
+	if err := c.ComputeInto(ranks, d); err != nil {
+		return nil, err
 	}
-	ranks := make([]int, n)
+	return ranks, nil
+}
+
+// ComputeInto computes rank(v) for every node under deadlines d into the
+// caller-provided ranks slice (len must equal the node count).
+func (c *Ctx) ComputeInto(ranks, d []int) error {
+	n := c.view.N
+	if len(d) != n {
+		return fmt.Errorf("rank: %d deadlines for %d nodes", len(d), n)
+	}
+	if len(ranks) != n {
+		return fmt.Errorf("rank: ranks buffer has %d entries for %d nodes", len(ranks), n)
+	}
 	copy(ranks, d)
 	for i := n - 1; i >= 0; i-- {
 		v := c.order[i]
@@ -154,7 +277,7 @@ func (c *Ctx) Compute(d []int) ([]int, error) {
 			c.rankNode(v, d, ranks)
 		}
 	}
-	return ranks, nil
+	return nil
 }
 
 // Update incrementally re-establishes ranks in place after the deadlines of
@@ -181,9 +304,6 @@ func (c *Ctx) Update(ranks, d []int, changed graph.Bitset) {
 
 // UpdateOne is Update for a single changed node.
 func (c *Ctx) UpdateOne(ranks, d []int, v graph.NodeID) {
-	if c.oneBit == nil {
-		c.oneBit = graph.NewBitset(c.g.Len())
-	}
 	c.oneBit.Set(int(v))
 	c.Update(ranks, d, c.oneBit)
 	c.oneBit.Clear(int(v))
@@ -197,29 +317,32 @@ func (c *Ctx) rankNode(v graph.NodeID, d, ranks []int) {
 		ranks[v] = d[v]
 		return
 	}
-	g := c.g
+	view := &c.view
 	delta := c.delta
 	// delta(u) = max over distance-0 in-edges (p → u) with p ∈ {v} ∪
 	// descendants(v) of (0 if p==v else delta(p)+exec(p)) + latency.
-	// Evaluated in global topological order restricted to descendants.
+	// Evaluated in global topological order restricted to descendants. The
+	// view only holds distance-0 edges, so no distance filtering is needed.
 	for _, u := range mem {
 		delta[u] = -1
 	}
 	dv := c.desc[v]
-	for _, e := range g.Out(v) {
-		if e.Distance == 0 && dv.Has(int(e.Dst)) && e.Latency > delta[e.Dst] {
-			delta[e.Dst] = e.Latency
+	for e := view.Off[v]; e < view.Off[v+1]; e++ {
+		dst := view.Dst[e]
+		if lat := int(view.Lat[e]); dv.Has(int(dst)) && lat > delta[dst] {
+			delta[dst] = lat
 		}
 	}
 	for _, u := range mem {
 		du := delta[u]
-		exec := g.Node(u).Exec
-		for _, e := range g.Out(u) {
-			if e.Distance != 0 || !dv.Has(int(e.Dst)) {
+		exec := int(view.Exec[u])
+		for e := view.Off[u]; e < view.Off[u+1]; e++ {
+			dst := view.Dst[e]
+			if !dv.Has(int(dst)) {
 				continue
 			}
-			if cand := du + exec + e.Latency; cand > delta[e.Dst] {
-				delta[e.Dst] = cand
+			if cand := du + exec + int(view.Lat[e]); cand > delta[dst] {
+				delta[dst] = cand
 			}
 		}
 	}
@@ -227,7 +350,7 @@ func (c *Ctx) rankNode(v graph.NodeID, d, ranks []int) {
 	for _, u := range mem {
 		ds = append(ds, descendant{
 			rank:  ranks[u],
-			exec:  g.Node(u).Exec,
+			exec:  int(view.Exec[u]),
 			class: c.class[u],
 			lat:   delta[u],
 			pos:   c.topoPos[u],
@@ -351,7 +474,11 @@ func (c *Ctx) RunRanks(ranks, d []int, tie []graph.NodeID) (*Result, error) {
 	}
 	if tie == nil {
 		if c.source == nil {
-			c.source = sched.SourceOrder(c.g)
+			src := c.ar.IDs.Alloc(c.view.N)
+			for i := range src {
+				src[i] = graph.NodeID(i)
+			}
+			c.source = src
 		}
 		tie = c.source
 	}
@@ -361,8 +488,8 @@ func (c *Ctx) RunRanks(ranks, d []int, tie []graph.NodeID) (*Result, error) {
 		return nil, err
 	}
 	feasible := true
-	for v := 0; v < c.g.Len(); v++ {
-		if ranks[v] < c.g.Node(graph.NodeID(v)).Exec {
+	for v := 0; v < c.view.N; v++ {
+		if ranks[v] < int(c.view.Exec[v]) {
 			feasible = false
 			break
 		}

@@ -10,8 +10,9 @@ import (
 )
 
 // This file retains the original one-shot Rank Algorithm implementation —
-// per-call topological sort, descendant closure and map-based occupancy —
-// exactly as it stood before the Ctx engine replaced it on the hot paths.
+// per-call topological sort, descendant closure, freshly built member lists —
+// as it stood before the Ctx engine replaced it on the hot paths (only the
+// occupancy bookkeeping was re-densified; see referencePackFeasible).
 // It exists solely as the naive oracle for the differential property tests
 // (its results must be bit-identical to Ctx.Compute/Ctx.Run on every input);
 // production code must use Compute/Run or a Ctx.
@@ -125,10 +126,29 @@ func ReferenceCompute(g *graph.Graph, m *machine.Machine, d []int) ([]int, error
 	return ranks, nil
 }
 
-// referencePackFeasible is the retained map-based occupancy packing test.
+// referencePackFeasible is the one-shot occupancy packing test. It used to
+// track occupancy in nested maps (occupied[class][t]); it now uses dense
+// per-class rows indexed t − c + 1. Placement starts at c + u.lat with
+// u.lat ≥ −1, so the +1 offset keeps every probed index nonnegative even
+// though c (and hence every absolute time) is deeply negative at the low end
+// of the binary search; earliest-fit never places past lat + sum(exec),
+// which bounds the row size.
 func referencePackFeasible(ds []descendant, m *machine.Machine, c int) bool {
-	// occupied[class][t] = number of units of the class busy at time t.
-	occupied := map[int]map[int]int{}
+	maxClass, total, maxLat, maxExec := 0, 0, 0, 0
+	for _, u := range ds {
+		if u.class > maxClass {
+			maxClass = u.class
+		}
+		total += u.exec
+		if u.lat > maxLat {
+			maxLat = u.lat
+		}
+		if u.exec > maxExec {
+			maxExec = u.exec
+		}
+	}
+	window := total + maxLat + maxExec + 4
+	occupied := make([][]int, maxClass+1)
 	for _, u := range ds {
 		units := m.UnitsFor(machine.UnitClass(u.class))
 		if units == 0 {
@@ -136,13 +156,16 @@ func referencePackFeasible(ds []descendant, m *machine.Machine, c int) bool {
 		}
 		occ := occupied[u.class]
 		if occ == nil {
-			occ = map[int]int{}
-			occupied[u.class] = occ
+			occ = make([]int, window)
 		}
-		start := c + u.lat
+		start := u.lat + 1 // index of absolute time c + u.lat
 	place:
 		for {
-			for t := start; t < start+u.exec; t++ {
+			end := start + u.exec
+			for end > len(occ) {
+				occ = append(occ, 0)
+			}
+			for t := start; t < end; t++ {
 				if occ[t] >= units {
 					start = t + 1
 					continue place
@@ -150,12 +173,13 @@ func referencePackFeasible(ds []descendant, m *machine.Machine, c int) bool {
 			}
 			break
 		}
-		if start+u.exec > u.rank {
+		if c+(start-1)+u.exec > u.rank {
 			return false
 		}
 		for t := start; t < start+u.exec; t++ {
 			occ[t]++
 		}
+		occupied[u.class] = occ
 	}
 	return true
 }

@@ -31,14 +31,28 @@ func ListSchedule(g *graph.Graph, m *machine.Machine, priority []graph.NodeID) (
 	return ls.Run(priority)
 }
 
-// ListScheduler runs the greedy list scheduler repeatedly over one graph and
-// machine, validating acyclicity once and reusing the readiness scratch
-// between runs. It is the allocation-free core behind ListSchedule; the Rank
-// Algorithm context (internal/rank) holds one per graph so the hundreds of
-// reschedules of a Delay_Idle_Slots pass share the same buffers.
+// ListScheduler runs the greedy list scheduler repeatedly over one graph
+// view and machine, reusing the readiness scratch between runs. It is the
+// allocation-free core behind ListSchedule; the Rank Algorithm context
+// (internal/rank) holds one per graph so the hundreds of reschedules of a
+// Delay_Idle_Slots pass share the same buffers. Reset rebinds it to a new
+// view without allocating once the scratch has grown to size.
 type ListScheduler struct {
+	// Flat adjacency and attributes, borrowed from the bound AdjView.
+	n      int
+	off    []int32
+	dst    []graph.NodeID
+	lat    []int32
+	exec   []int32
+	class  []int32
+	labels []string
+
+	// g is the graph behind the view when the caller has one (nil for
+	// induced subgraph views); it is stored on produced Schedules so that
+	// graph-dependent methods (Validate, Subpermutation) keep working.
 	g *graph.Graph
 	m *machine.Machine
+
 	// indeg is the distance-0 in-degree template copied into remaining at
 	// the start of every run.
 	indeg     []int
@@ -46,6 +60,9 @@ type ListScheduler struct {
 	remaining []int
 	unitFree  []int
 	seen      []bool
+	// ubase/ucount cache unitBase per class present in the view.
+	ubase  []int
+	ucount []int
 }
 
 // NewListScheduler validates that g's loop-independent subgraph is acyclic
@@ -62,31 +79,64 @@ func NewListScheduler(g *graph.Graph, m *machine.Machine) (*ListScheduler, error
 // computing a topological order), skipping the redundant validation pass.
 // Run on a cyclic graph never terminates; use NewListScheduler when in doubt.
 func NewListSchedulerAcyclic(g *graph.Graph, m *machine.Machine) *ListScheduler {
-	n := g.Len()
-	ls := &ListScheduler{
-		g:         g,
-		m:         m,
-		indeg:     make([]int, n),
-		earliest:  make([]int, n),
-		remaining: make([]int, n),
-		unitFree:  make([]int, m.TotalUnits()),
-		seen:      make([]bool, n),
+	ls := &ListScheduler{}
+	ls.Reset(graph.NewCSR(g).View(), m, g)
+	return ls
+}
+
+// Reset rebinds the scheduler to a new (acyclic) adjacency view. g may be
+// nil when the view is an induced subgraph with no standalone *Graph; the
+// produced Schedules then rely on the recorded exec times instead of G.
+// Scratch is grown as needed and otherwise reused.
+func (ls *ListScheduler) Reset(view graph.AdjView, m *machine.Machine, g *graph.Graph) {
+	n := view.N
+	ls.n = n
+	ls.off, ls.dst, ls.lat = view.Off, view.Dst, view.Lat
+	ls.exec, ls.class, ls.labels = view.Exec, view.Class, view.Labels
+	ls.g, ls.m = g, m
+
+	if cap(ls.indeg) < n {
+		ls.indeg = make([]int, n)
+		ls.earliest = make([]int, n)
+		ls.remaining = make([]int, n)
+		ls.seen = make([]bool, n)
 	}
-	for v := 0; v < n; v++ {
-		for _, e := range g.In(graph.NodeID(v)) {
-			if e.Distance == 0 {
-				ls.indeg[v]++
-			}
+	ls.indeg = ls.indeg[:n]
+	ls.earliest = ls.earliest[:n]
+	ls.remaining = ls.remaining[:n]
+	ls.seen = ls.seen[:n]
+	clear(ls.indeg)
+	for _, d := range ls.dst[:view.Off[n]] {
+		ls.indeg[d]++
+	}
+
+	if tot := m.TotalUnits(); cap(ls.unitFree) < tot {
+		ls.unitFree = make([]int, tot)
+	} else {
+		ls.unitFree = ls.unitFree[:tot]
+	}
+
+	maxClass := 0
+	for _, c := range view.Class {
+		if int(c) > maxClass {
+			maxClass = int(c)
 		}
 	}
-	return ls
+	if cap(ls.ubase) < maxClass+1 {
+		ls.ubase = make([]int, maxClass+1)
+		ls.ucount = make([]int, maxClass+1)
+	}
+	ls.ubase = ls.ubase[:maxClass+1]
+	ls.ucount = ls.ucount[:maxClass+1]
+	for c := 0; c <= maxClass; c++ {
+		ls.ubase[c], ls.ucount[c] = unitBase(m, machine.UnitClass(c))
+	}
 }
 
 // Run greedily schedules the priority list (see ListSchedule). Only the
 // returned Schedule is freshly allocated; all bookkeeping is reused.
 func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
-	g, m := ls.g, ls.m
-	n := g.Len()
+	n := ls.n
 	if len(priority) != n {
 		return nil, fmt.Errorf("sched: priority list has %d entries for %d nodes", len(priority), n)
 	}
@@ -99,7 +149,11 @@ func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
 		seen[id] = true
 	}
 
-	s := New(g, m)
+	s := &Schedule{G: ls.g, M: ls.m, Start: make([]int, n), Unit: make([]int, n), exec: ls.exec}
+	for i := range s.Start {
+		s.Start[i] = Unassigned
+		s.Unit[i] = Unassigned
+	}
 	// earliest[v]: max over scheduled preds of finish+latency; -1 per
 	// unsatisfied pred is tracked via remaining count.
 	earliest := ls.earliest
@@ -118,10 +172,10 @@ func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
 			if s.Start[v] != Unassigned || remaining[v] > 0 || earliest[v] > t {
 				continue
 			}
-			base, count := unitBase(m, machine.UnitClass(g.Node(id).Class))
+			base, count := ls.ubase[ls.class[v]], ls.ucount[ls.class[v]]
 			if count == 0 {
 				return nil, fmt.Errorf("sched: node %d (%s) has class %d with no units",
-					v, g.Node(id).Label, g.Node(id).Class)
+					v, ls.labels[v], ls.class[v])
 			}
 			unit := -1
 			for u := base; u < base+count; u++ {
@@ -135,17 +189,15 @@ func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
 			}
 			s.Start[v] = t
 			s.Unit[v] = unit
-			unitFree[unit] = t + g.Node(id).Exec
+			fin := t + int(ls.exec[v])
+			unitFree[unit] = fin
 			scheduled++
 			progress = true
-			fin := t + g.Node(id).Exec
-			for _, e := range g.Out(id) {
-				if e.Distance != 0 {
-					continue
-				}
-				remaining[e.Dst]--
-				if r := fin + e.Latency; r > earliest[e.Dst] {
-					earliest[e.Dst] = r
+			for e := ls.off[v]; e < ls.off[v+1]; e++ {
+				d := ls.dst[e]
+				remaining[d]--
+				if r := fin + int(ls.lat[e]); r > earliest[d] {
+					earliest[d] = r
 				}
 			}
 		}
@@ -160,7 +212,7 @@ func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
 					continue
 				}
 				cand := earliest[v]
-				base, count := unitBase(m, machine.UnitClass(g.Node(id).Class))
+				base, count := ls.ubase[ls.class[v]], ls.ucount[ls.class[v]]
 				// earliest unit availability for this class
 				uf := -1
 				for u := base; u < base+count; u++ {

@@ -38,6 +38,10 @@ type Schedule struct {
 	// is the baseline greedy list schedule produced by graceful degradation
 	// (valid, but without the anticipatory guarantees).
 	Degraded string
+	// exec[v] is the execution time of node v, recorded by the view-based
+	// list scheduler so that Finish/Makespan work without touching G (which
+	// may be nil for schedules built from an induced graph view).
+	exec []int32
 }
 
 // New returns an empty (all-unassigned) schedule for g on m.
@@ -57,10 +61,22 @@ func New(g *graph.Graph, m *machine.Machine) *Schedule {
 
 // Clone returns a deep copy sharing the graph and machine.
 func (s *Schedule) Clone() *Schedule {
-	c := &Schedule{G: s.G, M: s.M, Degraded: s.Degraded}
+	c := &Schedule{G: s.G, M: s.M, Degraded: s.Degraded, exec: s.exec}
 	c.Start = append([]int(nil), s.Start...)
 	c.Unit = append([]int(nil), s.Unit...)
 	return c
+}
+
+// Len reports the number of nodes the schedule covers.
+func (s *Schedule) Len() int { return len(s.Start) }
+
+// execOf returns the execution time of v, from the recorded exec slice when
+// present (view-built schedules) or from the graph.
+func (s *Schedule) execOf(v graph.NodeID) int {
+	if s.exec != nil {
+		return int(s.exec[v])
+	}
+	return s.G.Node(v).Exec
 }
 
 // Finish returns the finish time of v (start + exec), or Unassigned.
@@ -68,14 +84,14 @@ func (s *Schedule) Finish(v graph.NodeID) int {
 	if s.Start[v] == Unassigned {
 		return Unassigned
 	}
-	return s.Start[v] + s.G.Node(v).Exec
+	return s.Start[v] + s.execOf(v)
 }
 
 // Makespan returns the completion time of the last instruction (0 for an
 // empty schedule). Unassigned nodes are ignored.
 func (s *Schedule) Makespan() int {
 	max := 0
-	for v := 0; v < s.G.Len(); v++ {
+	for v := range s.Start {
 		if s.Start[v] == Unassigned {
 			continue
 		}
@@ -172,22 +188,20 @@ func (s *Schedule) Validate() error {
 func (s *Schedule) IdleSlots() []int {
 	T := s.Makespan()
 	total := s.M.TotalUnits()
-	busy := make([][]bool, total)
+	busy := make([]graph.Bitset, total)
 	for u := range busy {
-		busy[u] = make([]bool, T)
+		busy[u] = graph.NewBitset(T)
 	}
-	for v := 0; v < s.G.Len(); v++ {
+	for v := range s.Start {
 		if s.Start[v] == Unassigned {
 			continue
 		}
-		for t := s.Start[v]; t < s.Finish(graph.NodeID(v)) && t < T; t++ {
-			busy[s.Unit[v]][t] = true
-		}
+		busy[s.Unit[v]].SetRange(s.Start[v], s.Finish(graph.NodeID(v)))
 	}
 	var idles []int
 	for t := 0; t < T; t++ {
 		for u := 0; u < total; u++ {
-			if !busy[u][t] {
+			if !busy[u].Has(t) {
 				idles = append(idles, t)
 			}
 		}
@@ -198,20 +212,16 @@ func (s *Schedule) IdleSlots() []int {
 // IdleSlotsOnUnit returns the idle-slot start times of one unit.
 func (s *Schedule) IdleSlotsOnUnit(unit int) []int {
 	T := s.Makespan()
-	busy := make([]bool, T)
-	for v := 0; v < s.G.Len(); v++ {
+	busy := graph.NewBitset(T)
+	for v := range s.Start {
 		if s.Start[v] == Unassigned || s.Unit[v] != unit {
 			continue
 		}
-		for t := s.Start[v]; t < s.Finish(graph.NodeID(v)) && t < T; t++ {
-			busy[t] = true
-		}
+		busy.SetRange(s.Start[v], s.Finish(graph.NodeID(v)))
 	}
 	var idles []int
-	for t := 0; t < T; t++ {
-		if !busy[t] {
-			idles = append(idles, t)
-		}
+	for t := busy.NextClear(0); t < T; t = busy.NextClear(t + 1) {
+		idles = append(idles, t)
 	}
 	return idles
 }
@@ -219,8 +229,8 @@ func (s *Schedule) IdleSlotsOnUnit(unit int) []int {
 // Permutation returns the node IDs ordered by (start time, unit). On a
 // single-unit machine this is the total order P of Definition 2.1.
 func (s *Schedule) Permutation() []graph.NodeID {
-	ids := make([]graph.NodeID, 0, s.G.Len())
-	for v := 0; v < s.G.Len(); v++ {
+	ids := make([]graph.NodeID, 0, len(s.Start))
+	for v := range s.Start {
 		if s.Start[v] != Unassigned {
 			ids = append(ids, graph.NodeID(v))
 		}

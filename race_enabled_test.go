@@ -1,0 +1,8 @@
+//go:build race
+
+package aisched
+
+// raceEnabled reports that this binary was built with -race; the allocation
+// budget tests skip themselves, because the race runtime's shadow bookkeeping
+// adds allocations the budgets don't account for.
+const raceEnabled = true

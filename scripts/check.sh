@@ -26,6 +26,17 @@ if grep -rn --include='*.go' -E 'faultinject\.[A-Z][A-Za-z]* *=[^=]' . \
 	echo "check: FAIL — faultinject hook assigned outside tests" >&2
 	exit 1
 fi
-echo "== benchsnap -compare BENCH_PR3.json"
-go run ./cmd/benchsnap -compare BENCH_PR3.json
+echo "== scheduling engine must stay map-free"
+# The PR 5 zero-allocation core replaced every hot-path map[graph.NodeID]T
+# with dense slices indexed by compact node ID; a map sneaking back into the
+# engine packages reintroduces per-schedule hashing and allocation. Tests may
+# use maps freely (oracles, seen-sets).
+if grep -rn --include='*.go' 'map\[graph\.NodeID\]' \
+	./internal/rank ./internal/idle ./internal/core ./internal/loops \
+	| grep -v '_test\.go:'; then
+	echo "check: FAIL — map[graph.NodeID] in engine non-test code (use dense slices)" >&2
+	exit 1
+fi
+echo "== benchsnap -compare BENCH_PR5.json"
+go run ./cmd/benchsnap -compare BENCH_PR5.json
 echo "check: OK"
