@@ -110,6 +110,14 @@ type (
 // on SimOptions.Tracer.
 func NewRecorder() *TraceRecorder { return obs.NewRecorder() }
 
+// NewRecorderCap returns a trace recorder that retains at most n events,
+// dropping the oldest once full. Stats stay exact across drops (evicted
+// events are folded into a running aggregate); only the Events/Timeline/
+// ChromeTrace views are truncated to the retained window. Use this for
+// long-running or batch workloads where an unbounded recorder would grow
+// without limit.
+func NewRecorderCap(n int) *TraceRecorder { return obs.NewRecorderCap(n) }
+
 // Observer binds a Tracer to the scheduling and simulation entry points, so
 // one run can be observed end to end: pass decisions (merge, idle-slot
 // delays, chop, II candidates) and per-cycle hardware behaviour (issues,
@@ -236,12 +244,18 @@ func PipelineThenAnticipate(g *Graph, m *Machine) (*LoopSteady, *Kernel, error) 
 // the lookahead-window hardware model and returns the dynamic completion
 // time.
 func SimulateTrace(g *Graph, m *Machine, order []NodeID) (*SimResult, error) {
-	return hw.SimulateTrace(g, m, order)
+	t := stageTimer(simSampler)
+	res, err := hw.SimulateTrace(g, m, order)
+	stageDone(mStageSimNS, t)
+	return res, err
 }
 
 // SimulateLoop executes iters iterations of a loop body order.
 func SimulateLoop(g *Graph, m *Machine, order []NodeID, iters int, opt SimOptions) (*SimResult, error) {
-	return hw.SimulateLoop(g, m, order, iters, opt)
+	t := stageTimer(simSampler)
+	res, err := hw.SimulateLoop(g, m, order, iters, opt)
+	stageDone(mStageSimNS, t)
+	return res, err
 }
 
 // LoopSteadyState estimates the dynamic cycles-per-iteration of a loop

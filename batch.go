@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aisched/internal/cfg"
 	"aisched/internal/core"
@@ -106,12 +107,16 @@ func scheduleBlockFused(g *Graph, m *Machine, bs *sbudget.State) (*Schedule, err
 		return nil, err
 	}
 	rc.SetBudget(bs)
+	t := stageTimer(stageSampler)
 	res, err := rc.Run(rank.UniformDeadlines(g.Len(), rank.Big), nil)
 	if err != nil {
 		return nil, err
 	}
+	stageDone(mStageRankNS, t)
 	d := rank.UniformDeadlines(g.Len(), res.S.Makespan())
+	t = stageTimer(stageSampler)
 	s, _, err := idle.DelayIdleSlotsCtx(rc, res.S, d, nil, nil)
+	stageDone(mStageIdleNS, t)
 	return s, err
 }
 
@@ -125,6 +130,7 @@ func (sc *Scheduler) ScheduleBlock(g *Graph, m *Machine) (*Schedule, error) {
 // Scheduler's budget applied; on budget exhaustion it returns the baseline
 // fallback schedule tagged Degraded (never an error).
 func (sc *Scheduler) ScheduleBlockCtx(ctx context.Context, g *Graph, m *Machine) (*Schedule, error) {
+	defer observeRequest(mReqBlockNS, time.Now())
 	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
 		s, err := scheduleBlockFused(g, m, bs)
@@ -167,6 +173,7 @@ func (sc *Scheduler) ScheduleTrace(g *Graph, m *Machine) (*TraceResult, error) {
 // Scheduler's budget applied; on budget exhaustion it returns the baseline
 // fallback trace result tagged Degraded (never an error).
 func (sc *Scheduler) ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine) (*TraceResult, error) {
+	defer observeRequest(mReqTraceNS, time.Now())
 	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
 		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs})
@@ -206,6 +213,7 @@ func (sc *Scheduler) ScheduleLoop(g *Graph, m *Machine) (*LoopSteady, error) {
 // Scheduler's budget applied; on budget exhaustion it returns the baseline
 // fallback steady state tagged Degraded (never an error).
 func (sc *Scheduler) ScheduleLoopCtx(ctx context.Context, g *Graph, m *Machine) (*LoopSteady, error) {
+	defer observeRequest(mReqLoopNS, time.Now())
 	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
 		st, err := loops.ScheduleLoopOpts(g, m, loops.Opts{Budget: bs})
@@ -299,14 +307,21 @@ func (sc *Scheduler) scheduleOne(ctx context.Context, it BatchItem) (r BatchResu
 // are drained immediately with ctx.Err() instead of being scheduled, and a
 // panic anywhere in the item's scheduling (including injected faults) is
 // converted into a per-item error so one poisoned item never kills the whole
-// batch.
-func (sc *Scheduler) batchOne(ctx context.Context, it BatchItem) (r BatchResult) {
+// batch. submitted is when the batch was submitted; pickup-minus-submit is
+// the item's queue wait.
+func (sc *Scheduler) batchOne(ctx context.Context, it BatchItem, submitted time.Time) (r BatchResult) {
+	mQueueWaitNS.Observe(int64(time.Since(submitted)))
+	mBatchItems.Inc()
+	mWorkersBusy.Inc()
 	defer func() {
+		mWorkersBusy.Dec()
 		if p := recover(); p != nil {
+			mBatchPanics.Inc()
 			r = BatchResult{Err: fmt.Errorf("aisched: scheduling panicked: %v", p)}
 		}
 	}()
 	if err := ctx.Err(); err != nil {
+		mCancelled.Inc()
 		sc.emitRobust(obs.KindCancel, err.Error())
 		return BatchResult{Err: err}
 	}
@@ -335,6 +350,7 @@ func (sc *Scheduler) ScheduleBatchCtx(ctx context.Context, items []BatchItem) []
 	if len(items) == 0 {
 		return results
 	}
+	submitted := time.Now()
 	workers := sc.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -344,7 +360,7 @@ func (sc *Scheduler) ScheduleBatchCtx(ctx context.Context, items []BatchItem) []
 	}
 	if workers == 1 {
 		for i := range items {
-			results[i] = sc.batchOne(ctx, items[i])
+			results[i] = sc.batchOne(ctx, items[i], submitted)
 		}
 		return results
 	}
@@ -361,7 +377,7 @@ func (sc *Scheduler) ScheduleBatchCtx(ctx context.Context, items []BatchItem) []
 				}
 				// Indexed write: no ordering coordination needed, results
 				// land in input order by construction.
-				results[i] = sc.batchOne(ctx, items[i])
+				results[i] = sc.batchOne(ctx, items[i], submitted)
 			}
 		}()
 	}

@@ -28,6 +28,13 @@
 //	-stats          — print the metrics snapshot (stall breakdown, window
 //	                  occupancy, idle-slot fills, ...) as JSON.
 //	-timeline       — print a plain-text per-unit pipeline timeline.
+//	-metrics        — after the run, print the always-on process metrics
+//	                  (counters, gauges, latency histograms) as JSON.
+//	-debug-addr a   — serve /metrics (Prometheus), /statsz, /healthz, and
+//	                  /debug/pprof/* on the given address for the lifetime of
+//	                  the run.
+//	-version        — print the build identity (module version, VCS revision)
+//	                  and exit.
 package main
 
 import (
@@ -79,12 +86,29 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print a plain-text pipeline timeline")
 		bPasses  = flag.Int("budget-passes", 0, "program mode: per-trace rank-pass budget; exhausted traces degrade to the baseline list schedule (0 = unlimited)")
 		bMillis  = flag.Int("budget-ms", 0, "program mode: per-trace wall-clock budget in milliseconds (0 = unlimited)")
+		metricsF = flag.Bool("metrics", false, "print the always-on process metrics snapshot as JSON after the run")
+		dbgAddr  = flag.String("debug-addr", "", "serve /metrics, /statsz, /healthz, and /debug/pprof/* on this address (e.g. localhost:6060)")
+		version  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("aisched", aisched.VersionInfo())
+		return
+	}
+	if *dbgAddr != "" {
+		d, err := aisched.ServeDebug(*dbgAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer d.Close()
+		fmt.Printf("debug server on http://%s (/metrics /statsz /healthz /debug/pprof/)\n", d.Addr())
+	}
 
 	var rec *aisched.TraceRecorder
 	if *traceOut != "" || *stats || *timeline {
 		rec = aisched.NewRecorder()
+		rec.SetMeta("build", aisched.VersionInfo().String())
 	}
 
 	var m *machine.Machine
@@ -142,6 +166,13 @@ func main() {
 
 	if rec != nil {
 		reportObs(rec, *traceOut, *stats, *timeline)
+	}
+	if *metricsF {
+		data, err := aisched.MetricsSnapshot().JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nprocess metrics:\n%s\n", data)
 	}
 }
 

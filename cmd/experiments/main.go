@@ -54,6 +54,7 @@ func main() {
 		{"A2", def(experiments.A2, 20)},
 		{"R1", def(experiments.R1, 50)},
 		{"O1", experiments.O1},
+		{"O2", experiments.O2},
 	}
 
 	want := map[string]bool{}

@@ -1,0 +1,90 @@
+// Package buildinfo reports what binary is running: module path and
+// version, Go toolchain, and the VCS revision/time/dirty bit stamped by the
+// Go linker (runtime/debug.ReadBuildInfo). The same struct is printed by
+// `aisched -version`, embedded in the metrics snapshot, and stamped into
+// Chrome trace metadata, so every artifact a long-running service emits can
+// be traced back to an exact commit.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity. All fields marshal to stable JSON; empty
+// fields mean the information was not stamped (e.g. a test binary built
+// outside version control).
+type Info struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision"`
+	Time      string `json:"vcs_time"`
+	Dirty     bool   `json:"vcs_dirty"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the build identity, reading runtime/debug.ReadBuildInfo once.
+func Get() Info {
+	once.Do(func() {
+		cached = read(debug.ReadBuildInfo())
+	})
+	return cached
+}
+
+// read extracts Info from a BuildInfo (split out for testing).
+func read(bi *debug.BuildInfo, ok bool) Info {
+	if !ok || bi == nil {
+		return Info{}
+	}
+	info := Info{
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+		GoVersion: bi.GoVersion,
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity the way `aisched -version` prints it:
+// "module version (go1.x, rev abcdef0, dirty)".
+func (i Info) String() string {
+	s := i.Module
+	if s == "" {
+		s = "aisched"
+	}
+	v := i.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	s += " " + v + " (" + orUnknown(i.GoVersion)
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	s += ", rev " + orUnknown(rev)
+	if i.Dirty {
+		s += ", dirty"
+	}
+	return s + ")"
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

@@ -34,8 +34,22 @@ import (
 	"aisched/internal/faultinject"
 	"aisched/internal/graph"
 	"aisched/internal/machine"
+	"aisched/internal/metrics"
 	"aisched/internal/obs"
 	"aisched/internal/sbudget"
+)
+
+// Live process-wide counters (internal/metrics). Unlike the per-Cache
+// Counters snapshot and the obs events — which exist per Scheduler / per
+// run — these aggregate every cache in the process and are always on: one
+// striped atomic add per lookup, consumed by aisched.MetricsSnapshot and
+// the /metrics endpoint.
+var (
+	mHits       = metrics.Default.NewCounter("aisched_memo_hits_total", "schedule-cache lookups served from a memoized result")
+	mMisses     = metrics.Default.NewCounter("aisched_memo_misses_total", "schedule-cache lookups that computed and stored a result")
+	mEvictions  = metrics.Default.NewCounter("aisched_memo_evictions_total", "schedule-cache LRU evictions")
+	mCoalesced  = metrics.Default.NewCounter("aisched_memo_coalesced_total", "schedule-cache lookups coalesced onto an in-flight computation")
+	mRecomputed = metrics.Default.NewCounter("aisched_memo_recomputed_total", "coalesced waiters that recomputed after an in-flight leader failed with a personal error")
 )
 
 // Kind discriminates the result type cached under a fingerprint, so a block
@@ -204,12 +218,14 @@ func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (
 		e.pushMRU(&s.lru)
 		s.hits++
 		s.mu.Unlock()
+		mHits.Inc()
 		c.emit(obs.KindCacheHit)
 		return e.val, true, nil
 	}
 	if f, ok := s.inflight[k]; ok {
 		s.coalesced++
 		s.mu.Unlock()
+		mCoalesced.Inc()
 		c.emit(obs.KindCacheCoalesce)
 		select {
 		case <-f.done:
@@ -230,6 +246,7 @@ func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (
 		s.mu.Lock()
 		s.recomputed++
 		s.mu.Unlock()
+		mRecomputed.Inc()
 		v, err := runCompute(compute)
 		if err != nil {
 			return nil, false, err
@@ -241,6 +258,7 @@ func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (
 	s.inflight[k] = f
 	s.misses++
 	s.mu.Unlock()
+	mMisses.Inc()
 	c.emit(obs.KindCacheMiss)
 
 	f.val, f.err = runCompute(compute)
@@ -299,6 +317,9 @@ func (c *Cache) store(s *shard, k Key, v any) {
 		evicted++
 	}
 	s.mu.Unlock()
+	if evicted > 0 {
+		mEvictions.Add(uint64(evicted))
+	}
 	for i := 0; i < evicted; i++ {
 		c.emit(obs.KindCacheEvict)
 	}

@@ -1,0 +1,288 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "help")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if c.Name() != "test_total" {
+		t.Fatalf("name %q", c.Name())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("concurrent_total", "")
+	const goroutines, perG = 32, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g", "")
+	g.Set(7)
+	g.Add(5)
+	g.Dec()
+	g.Inc()
+	if got := g.Value(); got != 12 {
+		t.Fatalf("gauge = %d, want 12", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.NewCounter("bad name", "")
+}
+
+// TestBucketLayout checks the log-linear index/bounds functions are
+// mutually consistent and monotone over the whole range.
+func TestBucketLayout(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		lo, width := bucketBounds(i)
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(lo + width - 1); got != i {
+			t.Fatalf("bucketIndex(%d) = %d, want %d (hi edge)", lo+width-1, got, i)
+		}
+	}
+	// Spot values across magnitudes round-trip into buckets containing them.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 1000, 1 << 20, 1<<40 + 12345, 1<<63 + 9} {
+		i := bucketIndex(v)
+		lo, width := bucketBounds(i)
+		if v < lo || v >= lo+width {
+			t.Fatalf("value %d outside bucket %d = [%d, %d)", v, i, lo, lo+width)
+		}
+	}
+}
+
+// TestHistogramQuantileProperty: over random latency distributions, every
+// quantile estimate must land within one log-linear bucket of the exact
+// order statistic — the histogram's accuracy contract.
+func TestHistogramQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1996))
+	distributions := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform-1us", func() int64 { return rng.Int63n(1000) }},
+		{"uniform-1s", func() int64 { return rng.Int63n(1_000_000_000) }},
+		{"exponential", func() int64 { return int64(rng.ExpFloat64() * 50_000) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 5_000_000 + rng.Int63n(1_000_000) // slow mode
+			}
+			return 2_000 + rng.Int63n(500) // fast mode
+		}},
+		{"constant", func() int64 { return 123_456 }},
+		{"heavy-tail", func() int64 { return int64(1) << uint(rng.Intn(40)) }},
+	}
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.NewHistogram("q_ns", "")
+			const n = 5000
+			samples := make([]uint64, n)
+			for i := range samples {
+				v := d.gen()
+				if v < 0 {
+					v = 0
+				}
+				samples[i] = uint64(v)
+				h.Observe(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+				rank := int(q*float64(n)) - 1
+				if rank < 0 {
+					rank = 0
+				}
+				if rank >= n {
+					rank = n - 1
+				}
+				exact := samples[rank]
+				est := h.Quantile(q)
+				bi, be := bucketIndex(exact), bucketIndex(uint64(est))
+				if diff := bi - be; diff < -1 || diff > 1 {
+					t.Errorf("q=%.2f: estimate %.0f (bucket %d) vs exact %d (bucket %d)",
+						q, est, be, exact, bi)
+				}
+			}
+			if h.Count() != n {
+				t.Fatalf("count %d, want %d", h.Count(), n)
+			}
+			if h.Max() != samples[n-1] {
+				t.Fatalf("max %d, want %d", h.Max(), samples[n-1])
+			}
+		})
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("empty_ns", "")
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	h.Observe(-5) // clamped to 0, never panics
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("negative observation not clamped: count %d sum %d", h.Count(), h.Sum())
+	}
+}
+
+// TestRecordPathZeroAlloc pins the hot-path contract: counter adds, gauge
+// writes, histogram observations, and sampler gates allocate nothing.
+// check.sh runs this test explicitly as the metrics record-path gate.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("alloc_total", "")
+	g := r.NewGauge("alloc_gauge", "")
+	h := r.NewHistogram("alloc_ns", "")
+	s := NewSampler(16)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(5) }},
+		{"Gauge.Add", func() { g.Add(-2) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"Sampler.Sample", func() { _ = s.Sample() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the text exposition format on a registry
+// with known contents.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("aisched_test_hits_total", "cache hits")
+	g := r.NewGauge("aisched_test_busy", "busy workers")
+	h := r.NewHistogram("aisched_test_latency_ns", "request latency")
+	c.Add(42)
+	g.Set(3)
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP aisched_test_hits_total cache hits
+# TYPE aisched_test_hits_total counter
+aisched_test_hits_total 42
+# HELP aisched_test_busy busy workers
+# TYPE aisched_test_busy gauge
+aisched_test_busy 3
+# HELP aisched_test_latency_ns request latency
+# TYPE aisched_test_latency_ns histogram
+aisched_test_latency_ns_bucket{le="1"} 0
+aisched_test_latency_ns_bucket{le="2"} 1
+aisched_test_latency_ns_bucket{le="4"} 3
+aisched_test_latency_ns_bucket{le="8"} 3
+aisched_test_latency_ns_bucket{le="16"} 3
+aisched_test_latency_ns_bucket{le="32"} 3
+aisched_test_latency_ns_bucket{le="64"} 3
+aisched_test_latency_ns_bucket{le="128"} 4
+aisched_test_latency_ns_bucket{le="256"} 4
+aisched_test_latency_ns_bucket{le="512"} 4
+aisched_test_latency_ns_bucket{le="1024"} 5
+aisched_test_latency_ns_bucket{le="+Inf"} 5
+aisched_test_latency_ns_sum 1106
+aisched_test_latency_ns_count 5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotJSONStable: the JSON snapshot marshals with sorted keys and
+// round-trips.
+func TestSnapshotJSONStable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "").Add(2)
+	r.NewCounter("a_total", "").Add(1)
+	r.NewHistogram("lat_ns", "").Observe(100)
+	s := r.Snapshot()
+	j1, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := r.Snapshot().JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("snapshot JSON not deterministic")
+	}
+	if !strings.Contains(string(j1), `"a_total": 1`) {
+		t.Fatalf("snapshot missing counter: %s", j1)
+	}
+	if strings.Index(string(j1), `"a_total"`) > strings.Index(string(j1), `"b_total"`) {
+		t.Fatalf("snapshot keys not sorted: %s", j1)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(8)
+	hits := 0
+	for i := 0; i < 800; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("sampler admitted %d of 800, want 100", hits)
+	}
+	every := NewSampler(1)
+	if !every.Sample() || !every.Sample() {
+		t.Fatal("denom-1 sampler must admit everything")
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+// Prometheus text-format (version 0.0.4) exposition. One histogram is
+// rendered with cumulative le-buckets at power-of-two boundaries — the
+// log-linear sub-bucket resolution is collapsed per octave so an exposition
+// stays a few dozen lines instead of ~2000 — plus the exact _sum and
+// _count series. The output is deterministic: families sorted by name,
+// bucket bounds ascending.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePrometheus writes every registered instrument in Prometheus text
+// format v0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	counters, gauges, histograms := r.sortedNames()
+	for _, name := range counters {
+		c := r.counters[name]
+		writeHeader(bw, name, c.help, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, c.Value())
+	}
+	for _, name := range gauges {
+		g := r.gauges[name]
+		writeHeader(bw, name, g.help, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", name, g.Value())
+	}
+	for _, name := range histograms {
+		h := r.histograms[name]
+		writeHeader(bw, name, h.help, "histogram")
+		writePromHistogram(bw, name, h)
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// writePromHistogram emits cumulative buckets with upper bounds 2^k,
+// stopping at the first power of two that already covers every
+// observation, then the mandatory +Inf bucket, _sum, and _count.
+func writePromHistogram(w io.Writer, name string, h *Histogram) {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	var cum uint64
+	idx := 0
+	for k := uint(0); k < 64; k++ {
+		bound := uint64(1) << k
+		// Buckets are ascending by value, so accumulate every bucket whose
+		// range lies entirely below the bound.
+		for idx < numBuckets {
+			lo, width := bucketBounds(idx)
+			if lo+width > bound {
+				break
+			}
+			cum += counts[idx]
+			idx++
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+		if cum >= total {
+			break
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}

@@ -1,0 +1,214 @@
+// Package metrics is the always-on telemetry layer: process-wide counters,
+// gauges, and latency histograms designed so that instrumenting a hot path
+// costs one (or a few) uncontended atomic adds and nothing else.
+//
+// The record path follows the same discipline as the arena scheduling core:
+//
+//   - zero allocation — every instrument is preallocated at registration,
+//     Record/Add/Observe never allocate (enforced by an alloc-budget test
+//     and a check.sh guard on this file);
+//   - no maps, no interfaces, no locks — instrument sites hold concrete
+//     *Counter / *Gauge / *Histogram pointers resolved at package init, and
+//     every mutation is a sync/atomic operation;
+//   - no false sharing — counters are striped across cache-line-padded
+//     shards indexed by a cheap per-goroutine hint, so parallel batch
+//     workers incrementing the same logical counter land on different
+//     cache lines.
+//
+// Exposition (registry enumeration, Prometheus text format, JSON snapshot)
+// lives in registry.go / prometheus.go and may use maps and locks freely:
+// it runs at scrape frequency, not at request frequency.
+//
+// This file is the record path. Keep it free of maps, interfaces, mutexes,
+// fmt, and allocation — scripts/check.sh greps it.
+package metrics
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the assumed cache-line size; shards are padded to it so two
+// adjacent shards never share a line.
+const cacheLine = 64
+
+// padded is one cache-line-sized counter cell.
+type padded struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// stripeCount is the number of counter stripes: the next power of two above
+// GOMAXPROCS at package init, clamped to [1, 128]. A power of two makes
+// stripe selection a mask.
+var stripeCount = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n && p < 128 {
+		p <<= 1
+	}
+	return p
+}()
+
+// stripeIndex returns this goroutine's stripe hint. Go does not expose the
+// running P cheaply, so we hash the address of a stack variable instead:
+// distinct goroutines run on distinct stacks, which is exactly the property
+// needed to spread concurrent writers across stripes. The hint is stable
+// for the life of a call and costs a shift and a multiply — no syscall, no
+// allocation, no pinning.
+func stripeIndex() int {
+	var b byte
+	// Fibonacci hash of the stack address; the high bits are well mixed.
+	h := uintptr(unsafe.Pointer(&b)) * 0x9E3779B97F4A7C15
+	return int(h>>32) & (stripeCount - 1)
+}
+
+// Counter is a monotonically increasing counter striped across
+// cache-line-padded atomic cells. The zero value is not useful; obtain one
+// from Registry.NewCounter.
+type Counter struct {
+	stripes []padded
+	name    string
+	help    string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.stripes[stripeIndex()].v.Add(1) }
+
+// Add adds n (n is unsigned: counters never go down).
+func (c *Counter) Add(n uint64) { c.stripes[stripeIndex()].v.Add(n) }
+
+// Value sums the stripes. The sum is not a consistent snapshot under
+// concurrent writers — monitoring semantics, exact once writers quiesce.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.stripes {
+		t += c.stripes[i].v.Load()
+	}
+	return t
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an instantaneous value (worker-pool occupancy, resident cache
+// entries). One padded atomic cell: gauges are written at request
+// granularity, not per-cycle, so striping would buy nothing.
+type Gauge struct {
+	v    atomic.Int64
+	_    [cacheLine - 8]byte
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Log-linear histogram layout (HDR-style): values in [0, 2^subBits) get
+// exact unit buckets; every octave [2^e, 2^(e+1)) above that is divided
+// into 2^subBits linear sub-buckets, so the relative bucket width — and
+// therefore the worst-case quantile-estimation error — is bounded by
+// 2^-subBits ≈ 3.1%. Every bucket is preallocated at construction, so
+// Observe is a bounds-checked index computation plus three atomic ops.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // 32 sub-buckets per octave
+	// numBuckets covers the full uint64 range: the exact region plus
+	// (64 − subBits − 1) octaves of subCount buckets each.
+	numBuckets = subCount + (63-subBits)*subCount
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // ≥ subBits
+	sub := int((v >> uint(exp-subBits)) & (subCount - 1))
+	return subCount + (exp-subBits)*subCount + sub
+}
+
+// bucketBounds returns bucket i's half-open value range [lo, lo+width).
+func bucketBounds(i int) (lo, width uint64) {
+	if i < subCount {
+		return uint64(i), 1
+	}
+	j := i - subCount
+	g := uint(j / subCount)
+	s := uint64(j % subCount)
+	return (subCount + s) << g, 1 << g
+}
+
+// Histogram is a preallocated log-linear latency histogram. Observe is
+// lock-free and allocation-free; quantile estimation happens at snapshot
+// time from a point-in-time copy of the buckets. The zero value is not
+// useful; obtain one from Registry.NewHistogram. Values are int64 but
+// clamped at zero (latencies are never negative).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	name    string
+	help    string
+}
+
+// Observe records one value (e.g. a latency in nanoseconds). Negative
+// values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.buckets[bucketIndex(u)].Add(1)
+	h.sum.Add(u)
+	for {
+		old := h.max.Load()
+		if u <= old || h.max.CompareAndSwap(old, u) {
+			return
+		}
+	}
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Sampler admits every n-th call (n a power of two) with one atomic add:
+// the cheap gate in front of nanotime pairs on paths too hot to time every
+// request. The zero value admits every call; use NewSampler.
+type Sampler struct {
+	n    atomic.Uint64
+	mask uint64
+}
+
+// NewSampler returns a sampler admitting one in every denom calls; denom is
+// rounded up to a power of two (denom ≤ 1 admits everything).
+func NewSampler(denom int) *Sampler {
+	m := uint64(1)
+	for int(m) < denom {
+		m <<= 1
+	}
+	return &Sampler{mask: m - 1}
+}
+
+// Sample reports whether this call is one of the sampled 1/denom.
+func (s *Sampler) Sample() bool { return s.n.Add(1)&s.mask == 0 }

@@ -1,0 +1,249 @@
+package metrics
+
+// Registry: instrument registration and snapshot-time exposition. This side
+// of the package runs at scrape frequency, so it may use maps, locks, and
+// allocation freely — the record path (record.go) never touches it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Registry owns a set of named instruments. Registration happens at package
+// init (or test setup) under a mutex; the returned instrument pointers are
+// then used directly by the record path without ever consulting the
+// registry again. Names follow Prometheus conventions
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); duplicate registration panics, since it is a
+// programming error that would silently split a metric.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry every subsystem registers into and
+// the one aisched.MetricsSnapshot / ServeDebug expose.
+var Default = NewRegistry()
+
+func (r *Registry) checkName(name string) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+		}
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+}
+
+// NewCounter registers and returns a striped counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	c := &Counter{stripes: make([]padded, stripeCount), name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// NewHistogram registers and returns a log-linear histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	h := &Histogram{name: name, help: help}
+	r.histograms[name] = h
+	return h
+}
+
+// HistogramSnapshot is one histogram's point-in-time summary. Quantiles are
+// estimated from the log-linear buckets with intra-bucket interpolation, so
+// each estimate is within one bucket (≤ 2^-subBits relative width) of the
+// exact order statistic.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Max   uint64  `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a registry-wide point-in-time view. Maps marshal with sorted
+// keys, so the JSON form is stable for goldens and diffing.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Snapshot captures every instrument's current value. Values are read
+// without stopping writers; each individual instrument is internally
+// consistent enough for monitoring (counters may be mid-add across
+// stripes), and all derived quantiles come from one bucket copy.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot summarizes the histogram from one point-in-time bucket copy.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s := HistogramSnapshot{Count: total, Sum: h.sum.Load(), Max: h.max.Load()}
+	s.P50 = clampQuantile(quantileFrom(&counts, total, 0.50), total, s.Max)
+	s.P95 = clampQuantile(quantileFrom(&counts, total, 0.95), total, s.Max)
+	s.P99 = clampQuantile(quantileFrom(&counts, total, 0.99), total, s.Max)
+	return s
+}
+
+// clampQuantile caps a bucket-interpolated estimate at the exact observed
+// maximum: interpolation inside the top occupied bucket can otherwise exceed
+// every real observation, which reads as nonsense (p99 > max) in dashboards.
+// The exact order statistic is ≤ max, so clamping only tightens the estimate.
+func clampQuantile(est float64, total uint64, max uint64) float64 {
+	if total > 0 && est > float64(max) {
+		return float64(max)
+	}
+	return est
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of everything observed so
+// far. Prefer Snapshot when reading several quantiles: it loads the buckets
+// once.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	return clampQuantile(quantileFrom(&counts, total, q), total, h.max.Load())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// quantileFrom walks the bucket copy to the bucket containing the
+// ceil(q·total)-th observation and interpolates linearly inside it.
+func quantileFrom(counts *[numBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := math.Ceil(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo, width := bucketBounds(i)
+			frac := (target - float64(cum)) / float64(c)
+			return float64(lo) + frac*float64(width)
+		}
+		cum += c
+	}
+	// Unreachable with a consistent copy; return the max bucket bound.
+	lo, width := bucketBounds(numBuckets - 1)
+	return float64(lo + width)
+}
+
+// sortedCounterNames returns registered counter names in order (exposition
+// helper; callers hold r.mu).
+func (r *Registry) sortedNames() (counters, gauges, histograms []string) {
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.histograms {
+		histograms = append(histograms, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return
+}

@@ -62,6 +62,11 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 			"unit":   "1 machine cycle = 1 us",
 		},
 	}
+	// Caller-attached metadata (SetMeta), e.g. build identity. Absent by
+	// default, so the golden export schema is unchanged.
+	for k, v := range r.metaCopy() {
+		out.OtherData[k] = v
+	}
 	meta := func(pid, tid int, kind, name string) {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: kind, Phase: "M", PID: pid, TID: tid,

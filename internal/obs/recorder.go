@@ -5,43 +5,146 @@ import (
 	"sync"
 )
 
-// Recorder is the standard Tracer: it collects every event in memory and
-// derives the metrics registry, the Chrome trace export, and the text
-// timeline from the recorded stream. Safe for concurrent use.
+// Recorder is the standard Tracer: it collects events in memory and derives
+// the metrics registry, the Chrome trace export, and the text timeline from
+// the recorded stream. Safe for concurrent use.
+//
+// Retention: NewRecorder retains every event forever — right for bounded
+// runs (one schedule, one simulation), wrong for long-running processes.
+// NewRecorderCap(n) bounds memory with a ring buffer of the most recent n
+// events; when the ring is full the oldest event is folded into an
+// incremental aggregate before being dropped, so Stats() stays exact over
+// the entire stream no matter how small the cap. Only the renderers that
+// need the raw events — Events, ChromeTrace, Timeline — are limited to the
+// retained window; Dropped reports how many events have been evicted.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // unbounded slice (cap == 0) or ring buffer (cap > 0)
+	cap    int     // 0 = unbounded
+	head   int     // ring: index of the oldest retained event
+	n      int     // ring: number of retained events
+	drops  uint64  // events evicted into agg
+	agg    *statsAgg
+	meta   map[string]string // extra Chrome-trace otherData (e.g. build info)
 }
 
-// NewRecorder returns an empty Recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// NewRecorder returns an empty Recorder that retains every event.
+func NewRecorder() *Recorder { return &Recorder{agg: newStatsAgg()} }
+
+// NewRecorderCap returns a Recorder retaining at most n events (n ≥ 1) in a
+// preallocated ring buffer. Stats() remains exact across evictions; Events,
+// ChromeTrace, and Timeline see only the retained suffix of the stream.
+func NewRecorderCap(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{events: make([]Event, n), cap: n, agg: newStatsAgg()}
+}
 
 // Emit implements Tracer.
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	if r.cap == 0 {
+		r.events = append(r.events, e)
+		r.mu.Unlock()
+		return
+	}
+	if r.n == r.cap {
+		// Fold the oldest event into the aggregate, then overwrite it.
+		r.agg.add(r.events[r.head])
+		r.drops++
+		r.events[r.head] = e
+		r.head++
+		if r.head == r.cap {
+			r.head = 0
+		}
+		r.mu.Unlock()
+		return
+	}
+	i := r.head + r.n
+	if i >= r.cap {
+		i -= r.cap
+	}
+	r.events[i] = e
+	r.n++
 	r.mu.Unlock()
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events and the eviction aggregate.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
-	r.events = r.events[:0]
+	if r.cap == 0 {
+		r.events = r.events[:0]
+	} else {
+		r.head, r.n = 0, 0
+	}
+	r.drops = 0
+	r.agg = newStatsAgg()
 	r.mu.Unlock()
 }
 
-// Events returns a copy of the recorded event stream in emission order.
+// Events returns a copy of the retained event stream in emission order (the
+// full stream for NewRecorder; the most recent ≤ cap events for
+// NewRecorderCap).
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	if r.cap == 0 {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= r.cap {
+			j -= r.cap
+		}
+		out = append(out, r.events[j])
+	}
+	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	if r.cap == 0 {
+		return len(r.events)
+	}
+	return r.n
+}
+
+// Dropped returns the number of events evicted from a capped recorder (0
+// for an unbounded one). Evicted events are still counted in Stats.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
+
+// SetMeta attaches one key/value pair to the Chrome trace export's
+// otherData section (e.g. the binary's build identity). Metadata survives
+// Reset.
+func (r *Recorder) SetMeta(key, value string) {
+	r.mu.Lock()
+	if r.meta == nil {
+		r.meta = map[string]string{}
+	}
+	r.meta[key] = value
+	r.mu.Unlock()
+}
+
+// metaCopy returns a snapshot of the attached metadata (nil when empty).
+func (r *Recorder) metaCopy() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.meta) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.meta))
+	for k, v := range r.meta {
+		out[k] = v
+	}
+	return out
 }
 
 // Stats is the metrics registry snapshot: counters and histograms derived
@@ -109,106 +212,174 @@ type Stats struct {
 // JSON renders the snapshot as indented JSON.
 func (s Stats) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
 
-// Stats derives the metrics snapshot from the recorded events.
+// Stats derives the metrics snapshot from the full recorded stream —
+// including, for a capped recorder, every event already evicted from the
+// ring: eviction folds events into the same aggregation this method runs,
+// so the result is identical to an unbounded recorder's.
 func (r *Recorder) Stats() Stats {
 	r.mu.Lock()
-	events := r.events
 	defer r.mu.Unlock()
+	a := r.agg.clone()
+	if r.cap == 0 {
+		for i := range r.events {
+			a.add(r.events[i])
+		}
+	} else {
+		for i := 0; i < r.n; i++ {
+			j := r.head + i
+			if j >= r.cap {
+				j -= r.cap
+			}
+			a.add(r.events[j])
+		}
+	}
+	return a.finalize()
+}
 
-	s := Stats{
-		StallByReason: map[string]int{},
-		Passes:        map[string]int{},
+// statsAgg is the incremental form of the Stats derivation: events are
+// added one at a time in emission order, and finalize() completes the
+// pieces that depend on "the end of the stream" (the currently-open window
+// occupancy segment). add is order-sensitive exactly where the event stream
+// is (window segments integrate up to the next segment), so folding a
+// prefix at eviction time and the retained suffix at snapshot time yields
+// the same result as folding everything at once.
+type statsAgg struct {
+	s         Stats
+	issuedPos map[int]bool
+	// Window-occupancy integration state: the last KindWindow event opens a
+	// segment that runs until the next KindWindow event, or — for the final
+	// segment — to the last issue-phase cycle observed anywhere.
+	lastCycle  int
+	segCycle   int
+	segOcc     int
+	haveSeg    bool
+	haveBestII bool
+}
+
+func newStatsAgg() *statsAgg {
+	return &statsAgg{
+		s:         Stats{StallByReason: map[string]int{}, Passes: map[string]int{}},
+		issuedPos: map[int]bool{},
 	}
-	issuedPos := map[int]bool{}
-	// Window occupancy integrates KindWindow step changes over cycles; the
-	// final segment extends to the last issue-phase cycle observed.
-	type winSeg struct{ cycle, occ int }
-	var segs []winSeg
-	lastCycle := 0
-	for _, e := range events {
-		if (e.Kind == KindIssue || e.Kind == KindStall || e.Kind == KindWindow) && e.Cycle > lastCycle {
-			lastCycle = e.Cycle
+}
+
+// clone deep-copies the aggregate so a snapshot can extend it without
+// disturbing the recorder's state.
+func (a *statsAgg) clone() *statsAgg {
+	c := *a
+	c.s.StallByReason = make(map[string]int, len(a.s.StallByReason))
+	for k, v := range a.s.StallByReason {
+		c.s.StallByReason[k] = v
+	}
+	c.s.Passes = make(map[string]int, len(a.s.Passes))
+	for k, v := range a.s.Passes {
+		c.s.Passes[k] = v
+	}
+	c.issuedPos = make(map[int]bool, len(a.issuedPos))
+	for k, v := range a.issuedPos {
+		c.issuedPos[k] = v
+	}
+	c.s.WindowOccupancy = append([]int(nil), a.s.WindowOccupancy...)
+	return &c
+}
+
+// addOccupancy integrates one closed window segment [from, to) at occupancy
+// occ.
+func (a *statsAgg) addOccupancy(occ, from, to int) {
+	if to <= from {
+		return
+	}
+	for len(a.s.WindowOccupancy) <= occ {
+		a.s.WindowOccupancy = append(a.s.WindowOccupancy, 0)
+	}
+	a.s.WindowOccupancy[occ] += to - from
+}
+
+// add folds one event into the aggregate.
+func (a *statsAgg) add(e Event) {
+	if (e.Kind == KindIssue || e.Kind == KindStall || e.Kind == KindWindow) && e.Cycle > a.lastCycle {
+		a.lastCycle = e.Cycle
+	}
+	switch e.Kind {
+	case KindPassStart:
+		a.s.Passes[e.Pass]++
+	case KindPassEnd:
+		if e.Pass == PassSimulate {
+			a.s.Completion = e.N
 		}
-		switch e.Kind {
-		case KindPassStart:
-			s.Passes[e.Pass]++
-		case KindPassEnd:
-			if e.Pass == PassSimulate {
-				s.Completion = e.N
-			}
-		case KindIssue:
-			s.Issues++
-			if issuedPos[e.Pos] {
-				s.Reissues++
+	case KindIssue:
+		a.s.Issues++
+		if a.issuedPos[e.Pos] {
+			a.s.Reissues++
+		} else {
+			a.issuedPos[e.Pos] = true
+			a.s.Instructions++
+		}
+		if e.Fill {
+			if e.Cross {
+				a.s.CrossBlockFills++
 			} else {
-				issuedPos[e.Pos] = true
-				s.Instructions++
+				a.s.SameBlockFills++
 			}
-			if e.Fill {
-				if e.Cross {
-					s.CrossBlockFills++
-				} else {
-					s.SameBlockFills++
-				}
-			}
-		case KindStall:
-			s.StallCycles++
-			s.StallByReason[e.Reason.String()]++
-		case KindRollback:
-			s.Rollbacks++
-			s.Squashed += e.N
-		case KindWindow:
-			segs = append(segs, winSeg{e.Cycle, e.N})
-		case KindDeadlineTighten:
-			s.DeadlineTightenings++
-		case KindSlotMove:
-			s.SlotMoves++
-			if e.To < 0 {
-				s.SlotsEliminated++
-			}
-		case KindMergeLoosen:
-			s.MergeLoosenings++
-		case KindMerge:
-			s.Merges++
-		case KindChop:
-			s.Chops++
-			s.CommittedPrefix += e.From
-			if e.To > s.MaxCarriedSuffix {
-				s.MaxCarriedSuffix = e.To
-			}
-		case KindIICandidate:
-			s.IICandidates++
-			if s.BestII == 0 || e.N < s.BestII {
-				s.BestII = e.N
-			}
-		case KindCacheHit:
-			s.CacheHits++
-		case KindCacheMiss:
-			s.CacheMisses++
-		case KindCacheEvict:
-			s.CacheEvictions++
-		case KindCacheCoalesce:
-			s.CacheCoalesced++
-		case KindCancel:
-			s.Cancellations++
-		case KindDegrade:
-			s.Degradations++
-		case KindFault:
-			s.FaultsInjected++
 		}
+	case KindStall:
+		a.s.StallCycles++
+		a.s.StallByReason[e.Reason.String()]++
+	case KindRollback:
+		a.s.Rollbacks++
+		a.s.Squashed += e.N
+	case KindWindow:
+		if a.haveSeg {
+			a.addOccupancy(a.segOcc, a.segCycle, e.Cycle)
+		}
+		a.segCycle, a.segOcc, a.haveSeg = e.Cycle, e.N, true
+	case KindDeadlineTighten:
+		a.s.DeadlineTightenings++
+	case KindSlotMove:
+		a.s.SlotMoves++
+		if e.To < 0 {
+			a.s.SlotsEliminated++
+		}
+	case KindMergeLoosen:
+		a.s.MergeLoosenings++
+	case KindMerge:
+		a.s.Merges++
+	case KindChop:
+		a.s.Chops++
+		a.s.CommittedPrefix += e.From
+		if e.To > a.s.MaxCarriedSuffix {
+			a.s.MaxCarriedSuffix = e.To
+		}
+	case KindIICandidate:
+		a.s.IICandidates++
+		if !a.haveBestII || e.N < a.s.BestII {
+			a.s.BestII = e.N
+			a.haveBestII = true
+		}
+	case KindCacheHit:
+		a.s.CacheHits++
+	case KindCacheMiss:
+		a.s.CacheMisses++
+	case KindCacheEvict:
+		a.s.CacheEvictions++
+	case KindCacheCoalesce:
+		a.s.CacheCoalesced++
+	case KindCancel:
+		a.s.Cancellations++
+	case KindDegrade:
+		a.s.Degradations++
+	case KindFault:
+		a.s.FaultsInjected++
 	}
-	for i, seg := range segs {
-		end := lastCycle + 1
-		if i+1 < len(segs) {
-			end = segs[i+1].cycle
-		}
-		if end <= seg.cycle {
-			continue
-		}
-		for len(s.WindowOccupancy) <= seg.occ {
-			s.WindowOccupancy = append(s.WindowOccupancy, 0)
-		}
-		s.WindowOccupancy[seg.occ] += end - seg.cycle
+}
+
+// finalize closes the open window segment against the last observed
+// issue-phase cycle and returns the snapshot. The receiver must be a
+// throwaway clone: finalize consumes the open segment.
+func (a *statsAgg) finalize() Stats {
+	if a.haveSeg {
+		a.addOccupancy(a.segOcc, a.segCycle, a.lastCycle+1)
+		a.haveSeg = false
 	}
-	return s
+	return a.s
 }

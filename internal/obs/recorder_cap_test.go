@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// capTestStream is a synthetic stream exercising every order-sensitive piece
+// of the Stats derivation: window segments, re-issues, stalls, rollbacks,
+// scheduler-pass decisions, and cache/robustness counters.
+func capTestStream() []Event {
+	var ev []Event
+	ev = append(ev,
+		Event{Kind: KindPassStart, Pass: PassLookahead},
+		Event{Kind: KindMergeLoosen, Block: 0, N: 1},
+		Event{Kind: KindMerge, Block: 0, From: 0, To: 5, N: 7},
+		Event{Kind: KindDeadlineTighten, Node: 3, From: 7, To: 6},
+		Event{Kind: KindSlotMove, Unit: 0, From: 2, To: 5},
+		Event{Kind: KindSlotMove, Unit: 0, From: 5, To: -1},
+		Event{Kind: KindChop, Block: 0, From: 4, To: 2, N: 5},
+		Event{Kind: KindIICandidate, Pass: "base", N: 7, From: 9},
+		Event{Kind: KindIICandidate, Pass: "source", Node: 2, N: 6, From: 9},
+		Event{Kind: KindPassEnd, Pass: PassLookahead, N: 11},
+		Event{Kind: KindCacheMiss, Block: -1},
+		Event{Kind: KindCacheHit, Block: -1},
+		Event{Kind: KindCacheCoalesce, Block: -1},
+		Event{Kind: KindCacheEvict, Block: -1},
+		Event{Kind: KindDegrade, Block: -1, Label: "wall-clock"},
+		Event{Kind: KindCancel, Block: -1, Label: "context canceled"},
+		Event{Kind: KindPassStart, Pass: PassSimulate},
+	)
+	// Simulated run: occupancy segments interleaved with issues, stalls, and
+	// a rollback that forces a re-issue.
+	cycle := 0
+	for i := 0; i < 40; i++ {
+		ev = append(ev, Event{Kind: KindWindow, Cycle: cycle, From: i, N: i % 5})
+		ev = append(ev, Event{Kind: KindIssue, Cycle: cycle, Pos: i, Label: "op", N: 1, Unit: i % 2,
+			Fill: i%3 == 0, Cross: i%6 == 0})
+		cycle++
+		if i%7 == 3 {
+			ev = append(ev, Event{Kind: KindStall, Cycle: cycle, Reason: StallReason(i % int(NumStallReasons))})
+			cycle++
+		}
+		if i == 20 {
+			ev = append(ev, Event{Kind: KindRollback, Cycle: cycle, Pos: 18, N: 2, To: cycle + 1})
+			ev = append(ev, Event{Kind: KindIssue, Cycle: cycle + 1, Pos: 19, Label: "op", N: 1})
+			cycle += 2
+		}
+	}
+	ev = append(ev, Event{Kind: KindPassEnd, Pass: PassSimulate, N: cycle})
+	return ev
+}
+
+// TestRecorderCapStatsEquivalence replays the same stream into an unbounded
+// recorder and capped recorders of many sizes (including a cap of 1, where
+// almost every event is evicted) and requires byte-identical Stats.
+func TestRecorderCapStatsEquivalence(t *testing.T) {
+	stream := capTestStream()
+	ref := NewRecorder()
+	for _, e := range stream {
+		ref.Emit(e)
+	}
+	want := ref.Stats()
+
+	for _, cap := range []int{1, 2, 3, 7, 16, 63, len(stream) - 1, len(stream), len(stream) + 10} {
+		r := NewRecorderCap(cap)
+		for _, e := range stream {
+			r.Emit(e)
+		}
+		got := r.Stats()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("cap=%d: Stats diverge from unbounded recorder\n got: %+v\nwant: %+v", cap, got, want)
+		}
+		// Stats must be repeatable: the snapshot clone must not consume
+		// recorder state.
+		if again := r.Stats(); !reflect.DeepEqual(again, want) {
+			t.Errorf("cap=%d: second Stats() call diverges", cap)
+		}
+		wantDrops := uint64(0)
+		if len(stream) > cap {
+			wantDrops = uint64(len(stream) - cap)
+		}
+		if r.Dropped() != wantDrops {
+			t.Errorf("cap=%d: Dropped = %d, want %d", cap, r.Dropped(), wantDrops)
+		}
+	}
+}
+
+// TestRecorderCapRetainsSuffix checks the ring keeps exactly the most recent
+// cap events in emission order.
+func TestRecorderCapRetainsSuffix(t *testing.T) {
+	r := NewRecorderCap(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindIssue, Pos: i})
+	}
+	ev := r.Events()
+	if len(ev) != 4 || r.Len() != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.Pos != 6+i {
+			t.Fatalf("Events()[%d].Pos = %d, want %d", i, e.Pos, 6+i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("Reset left Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	s := r.Stats()
+	if s.Issues != 0 {
+		t.Fatalf("Reset left Issues=%d in stats", s.Issues)
+	}
+}
+
+// TestRecorderSetMeta checks metadata lands in the Chrome export's otherData
+// and that the default export carries none.
+func TestRecorderSetMeta(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindIssue, Cycle: 0, Pos: 0, Label: "a", N: 1})
+
+	decode := func(data []byte) map[string]any {
+		var out struct {
+			OtherData map[string]any `json:"otherData"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.OtherData
+	}
+
+	plain, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od := decode(plain); len(od) != 2 {
+		t.Errorf("default otherData = %v, want only source+unit", od)
+	}
+
+	r.SetMeta("build", "aisched v1.2.3 (go1.24, rev abc)")
+	stamped, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := decode(stamped)
+	if got, _ := od["build"].(string); !strings.Contains(got, "v1.2.3") {
+		t.Errorf("otherData[build] = %q, want build string", got)
+	}
+	r.Reset()
+	afterReset, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decode(afterReset)["build"]; !ok {
+		t.Error("SetMeta metadata should survive Reset")
+	}
+}

@@ -20,12 +20,36 @@ import (
 	"time"
 
 	"aisched/internal/faultinject"
+	"aisched/internal/metrics"
 )
 
 // ErrExhausted is the sentinel every budget-exhaustion error wraps; test
 // with errors.Is. Context cancellation is NOT exhaustion — it surfaces as
 // the context's own error.
 var ErrExhausted = errors.New("scheduling budget exhausted")
+
+// Always-on exhaustion telemetry: every exhaustion increments the counter;
+// requests that also carried a wall-clock deadline record how much of it
+// remained when the binding limit fired (≈0 when the wall clock itself
+// expired, larger when a rank-pass cap fired first — the histogram shows
+// which limit binds in practice). Both live on the exhaustion path only, so
+// the un-exhausted hot path pays nothing.
+var (
+	mExhausted = metrics.Default.NewCounter("aisched_budget_exhausted_total",
+		"scheduling requests stopped by budget exhaustion (wall-clock, rank-pass, or forced)")
+	mRemainingAtExhaust = metrics.Default.NewHistogram("aisched_budget_remaining_at_exhaust_ns",
+		"wall-clock budget remaining when a request exhausted (only requests with a wall-clock limit)")
+)
+
+// exhaust builds the exhaustion error for reason and records it in the
+// process-wide metrics. s may be nil (forced exhaustion without a state).
+func (s *State) exhaust(reason string) error {
+	mExhausted.Inc()
+	if s != nil && !s.deadline.IsZero() {
+		mRemainingAtExhaust.Observe(int64(time.Until(s.deadline)))
+	}
+	return &exhausted{reason: reason}
+}
 
 // exhausted wraps ErrExhausted with the specific limit that fired.
 type exhausted struct{ reason string }
@@ -84,13 +108,13 @@ func (s *State) Check() error {
 		h()
 	}
 	if h := faultinject.BudgetExhaust; h != nil && h() {
-		return &exhausted{reason: "forced by fault injection"}
+		return s.exhaust("forced by fault injection")
 	}
 	if err := s.ctx.Err(); err != nil {
 		return err
 	}
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		return &exhausted{reason: "wall-clock deadline exceeded"}
+		return s.exhaust("wall-clock deadline exceeded")
 	}
 	return nil
 }
@@ -103,7 +127,7 @@ func (s *State) RankPass() error {
 		return nil
 	}
 	if s.maxPasses > 0 && s.passes.Add(1) > s.maxPasses {
-		return &exhausted{reason: fmt.Sprintf("rank-pass limit %d exceeded", s.maxPasses)}
+		return s.exhaust(fmt.Sprintf("rank-pass limit %d exceeded", s.maxPasses))
 	}
 	return s.Check()
 }

@@ -50,16 +50,19 @@ type Budget struct {
 // ScheduleBlockCtx is ScheduleBlock with cooperative cancellation: when ctx
 // is cancelled the call returns ctx.Err() within one rank pass.
 func ScheduleBlockCtx(ctx context.Context, g *Graph, m *Machine) (*Schedule, error) {
+	defer observeRequest(mReqBlockNS, time.Now())
 	return scheduleBlockFused(g, m, sbudget.New(ctx, 0, 0))
 }
 
 // ScheduleTraceCtx is ScheduleTrace with cooperative cancellation.
 func ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine) (*TraceResult, error) {
+	defer observeRequest(mReqTraceNS, time.Now())
 	return core.LookaheadOpts(g, m, core.Options{Budget: sbudget.New(ctx, 0, 0)})
 }
 
 // ScheduleLoopCtx is ScheduleLoop with cooperative cancellation.
 func ScheduleLoopCtx(ctx context.Context, g *Graph, m *Machine) (*LoopSteady, error) {
+	defer observeRequest(mReqLoopNS, time.Now())
 	return loops.ScheduleLoopOpts(g, m, loops.Opts{Budget: sbudget.New(ctx, 0, 0)})
 }
 
@@ -87,6 +90,7 @@ func (sc *Scheduler) degradeReason(err error) string {
 		return reason
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		mCancelled.Inc()
 		sc.emitRobust(obs.KindCancel, err.Error())
 	}
 	return ""
@@ -104,6 +108,7 @@ func (sc *Scheduler) fallbackBlock(g *Graph, m *Machine, reason string) (*Schedu
 		return nil, err
 	}
 	s.Degraded = reason
+	mDegraded.Inc()
 	sc.emitRobust(obs.KindDegrade, reason)
 	return s, nil
 }
@@ -128,6 +133,7 @@ func (sc *Scheduler) fallbackTrace(g *Graph, m *Machine, reason string) (*TraceR
 		b := g.Node(id).Block
 		res.BlockOrders[b] = append(res.BlockOrders[b], id)
 	}
+	mDegraded.Inc()
 	sc.emitRobust(obs.KindDegrade, reason)
 	return res, nil
 }
@@ -144,6 +150,7 @@ func (sc *Scheduler) fallbackLoop(g *Graph, m *Machine, reason string) (*LoopSte
 		return nil, err
 	}
 	st.S.Degraded = reason
+	mDegraded.Inc()
 	sc.emitRobust(obs.KindDegrade, reason)
 	return st, nil
 }

@@ -37,6 +37,16 @@ if grep -rn --include='*.go' 'map\[graph\.NodeID\]' \
 	echo "check: FAIL — map[graph.NodeID] in engine non-test code (use dense slices)" >&2
 	exit 1
 fi
-echo "== benchsnap -compare BENCH_PR5.json"
-go run ./cmd/benchsnap -compare BENCH_PR5.json
+echo "== metrics record path must stay zero-alloc and lock/map-free"
+# The always-on metrics layer is only viable because recording is a handful
+# of striped atomics. Two guards: the allocs-per-op test must report exactly
+# zero, and the record path source must never grow a map, mutex, channel, or
+# interface.
+go test -run '^TestRecordPathZeroAlloc$' -count=1 ./internal/metrics
+if grep -nE 'map\[|sync\.(Mutex|RWMutex)|interface *\{|chan ' internal/metrics/record.go; then
+	echo "check: FAIL — internal/metrics/record.go grew a map/lock/chan/interface" >&2
+	exit 1
+fi
+echo "== benchsnap -compare BENCH_PR6.json"
+go run ./cmd/benchsnap -compare BENCH_PR6.json
 echo "check: OK"
