@@ -571,3 +571,118 @@ func BenchmarkCompiler(b *testing.B) {
 		}
 	}
 }
+
+// streamCycle builds one steady-state stream workload: the seed-11 benchsnap
+// trace split into StreamBlocks, repeated `cycles` times with dependence IDs
+// rebased to each cycle's fresh stream IDs, so pushes can run indefinitely
+// against one scheduler without the engine ever draining.
+func streamCycle(tb testing.TB, blocks int, cycles int) []StreamBlock {
+	tb.Helper()
+	r := rand.New(rand.NewSource(11))
+	cfg := workload.DefaultTrace()
+	cfg.Blocks = blocks
+	g, err := workload.Trace(r, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bs, _, err := TraceStreamBlocks(g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var long []StreamBlock
+	for c := 0; c < cycles; c++ {
+		off := NodeID(c * g.Len())
+		for _, b := range bs {
+			nb := StreamBlock{Nodes: b.Nodes, Deps: make([]StreamDep, len(b.Deps))}
+			for i, d := range b.Deps {
+				nb.Deps[i] = StreamDep{Src: d.Src + off, Dst: d.Dst + off, Latency: d.Latency}
+			}
+			long = append(long, nb)
+		}
+	}
+	return long
+}
+
+// BenchmarkStreamPush (P3): steady-state cost of one streaming push at k=1 —
+// the amortized per-block price of the incremental pipeline. The engine
+// reuses its arena rank context, compaction double buffers, and CSR scratch,
+// so allocs/op is a small constant (the escaping BlockResult plus the
+// merge/delay schedules), enforced by TestStreamPushAllocBudget and the
+// benchsnap gate.
+func BenchmarkStreamPush(b *testing.B) {
+	long := streamCycle(b, 6, 64)
+	m := machine.SingleUnit(4)
+	warm := 2 * 6
+	newWarm := func() *StreamScheduler {
+		ss := NewStreamScheduler(m, StreamOptions{Lookahead: 1})
+		for _, blk := range long[:warm] {
+			if _, err := ss.Push(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ss
+	}
+	ss := newWarm()
+	i := warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == len(long) {
+			// The precomputed rebased cycle ran out: restart with a fresh
+			// warmed scheduler outside the timer.
+			b.StopTimer()
+			ss = newWarm()
+			i = warm
+			b.StartTimer()
+		}
+		if _, err := ss.Push(long[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+// BenchmarkStreamFirstResult (P4): time-to-first-schedule. "stream" measures
+// a cold NewStreamScheduler (k=0) plus one push — the instant the first
+// block's final schedule exists — while "batch" is the whole-trace
+// ScheduleTrace call a consumer would otherwise wait for. The streaming
+// figure is O(first block) and flat in trace length; the batch figure grows
+// with the trace, so the gap (the ISSUE acceptance asks ≥5× at 8 blocks)
+// widens as traces get longer.
+func BenchmarkStreamFirstResult(b *testing.B) {
+	for _, blocks := range []int{8, 32} {
+		r := rand.New(rand.NewSource(11))
+		cfg := workload.DefaultTrace()
+		cfg.Blocks = blocks
+		g, err := workload.Trace(r, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs, _, err := TraceStreamBlocks(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := machine.SingleUnit(4)
+		b.Run(fmt.Sprintf("blocks=%d/stream", blocks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ss := NewStreamScheduler(m, StreamOptions{})
+				res, err := ss.Push(bs[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 1 {
+					b.Fatalf("first push finalized %d blocks, want 1", len(res))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("blocks=%d/batch", blocks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ScheduleTrace(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

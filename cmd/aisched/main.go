@@ -19,6 +19,11 @@
 //	          the CFG, and schedule every trace through the parallel batch
 //	          pipeline with the content-addressed schedule cache; reports
 //	          per-trace makespans and the cache hit/miss counters.
+//	stream  — feed the file's blocks one Push at a time through the streaming
+//	          scheduler (lookahead -k; -k -1 = unbounded, batch-identical)
+//	          and print each block's schedule the moment it is finalized,
+//	          with its emit lag; then compare the streamed makespan against
+//	          batch ScheduleTrace.
 //
 // Observability:
 //
@@ -76,7 +81,8 @@ y[i] = 0;
 
 func main() {
 	var (
-		mode     = flag.String("mode", "loop", "trace, loop, or program")
+		mode     = flag.String("mode", "loop", "trace, loop, program, or stream")
+		kAhead   = flag.Int("k", 0, "stream mode: lookahead k (0 = fully online, -1 = unbounded/batch-identical)")
 		w        = flag.Int("w", 4, "lookahead window size W")
 		mdl      = flag.String("machine", "single", "single, rs6000, or wide2")
 		iters    = flag.Int("iters", 20, "loop iterations to simulate")
@@ -159,6 +165,8 @@ func main() {
 			runLoop(blocks[0], m, *iters, *unroll, rec)
 		case "trace":
 			runTrace(blocks, m, rec)
+		case "stream":
+			runStream(blocks, m, *kAhead, rec)
 		default:
 			fatal(fmt.Errorf("unknown mode %q", *mode))
 		}
@@ -286,6 +294,74 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 	}
 	fmt.Println("anticipatory static code:")
 	fmt.Print(out)
+}
+
+// runStream feeds the trace block by block through the streaming scheduler,
+// printing each block's final schedule at the push that finalizes it —
+// demonstrating the O(block) time-to-first-schedule the streaming API buys —
+// then compares the streamed makespan against batch ScheduleTrace (identical
+// at k = unbounded, and usually identical well before that; EXPERIMENTS.md
+// S1 measures the gap).
+func runStream(blocks []isa.Block, m *machine.Machine, k int, rec *aisched.TraceRecorder) {
+	var seqs [][]isa.Instr
+	for _, b := range blocks {
+		seqs = append(seqs, b.Instrs)
+	}
+	g := aisched.BuildTraceGraph(seqs)
+	sblocks, _, err := aisched.TraceStreamBlocks(g)
+	if err != nil {
+		fatal(err)
+	}
+	if k < 0 {
+		k = aisched.LookaheadUnbounded
+	}
+	opt := aisched.StreamOptions{Lookahead: k}
+	if rec != nil {
+		opt.Tracer = rec
+	}
+	ss := aisched.NewStreamScheduler(m, opt)
+	show := func(push int, r *aisched.BlockResult) {
+		label := blocks[r.Block].Label
+		fmt.Printf("push %d: block %d (%s) final, lag %d", push, r.Block, label, r.Lag)
+		if r.Degraded != "" {
+			fmt.Printf(" [degraded: %s]", r.Degraded)
+		}
+		fmt.Println()
+		for i, id := range r.Order {
+			nd := g.Node(id)
+			fmt.Printf("  t=%-4d u%-2d %s\n", r.Start[i], r.Unit[i], nd.Label)
+		}
+	}
+	for i, sb := range sblocks {
+		res, err := ss.Push(sb)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range res {
+			show(i, r)
+		}
+	}
+	tail, err := ss.Flush()
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range tail {
+		show(len(sblocks), r)
+	}
+	streamed := ss.Makespan()
+	batch, err := aisched.ScheduleTrace(g, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nstreamed makespan (k=%s): %d; batch ScheduleTrace: %d\n",
+		kLabel(k), streamed, batch.Makespan())
+}
+
+func kLabel(k int) string {
+	if k == aisched.LookaheadUnbounded {
+		return "unbounded"
+	}
+	return fmt.Sprint(k)
 }
 
 // runProgram is the batch pipeline: compile mini-C, select traces over the

@@ -4,11 +4,15 @@
 // tracing disabled) plus the batch-pipeline throughput workloads (BatchDup0,
 // BatchDup90, SerialDup90: a 64-item trace batch at 0% and ~90% duplicate
 // rates through ScheduleBatch, and the same ~90%-duplicate items through the
-// serial uncached entry point) — and writes it as JSON, or compares a fresh
-// run against a committed snapshot and fails beyond the tolerance:
+// serial uncached entry point) plus the streaming workloads (StreamPush: one
+// steady-state k=1 push on an unending rebased trace; StreamFirstResult: a
+// cold k=0 scheduler plus the one push that finalizes the first block — the
+// time-to-first-schedule the streaming API exists for) — and writes it as
+// JSON, or compares a fresh run against a committed snapshot and fails
+// beyond the tolerance:
 //
-//	go run ./cmd/benchsnap -o BENCH_PR5.json
-//	go run ./cmd/benchsnap -compare BENCH_PR5.json
+//	go run ./cmd/benchsnap -o BENCH_PR7.json
+//	go run ./cmd/benchsnap -compare BENCH_PR7.json
 //
 // -cpuprofile and -memprofile write pprof profiles covering the benchmark
 // measurements, for digging into a regression the gate reports:
@@ -64,7 +68,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file (ignored with -compare)")
+	out := flag.String("o", "BENCH_PR7.json", "output file (ignored with -compare)")
 	compare := flag.String("compare", "", "compare against this snapshot instead of writing one")
 	tol := flag.Float64("tol", 2.0, "regression budget in percent for -compare")
 	noisefloor := flag.Float64("noisefloor", 25.0, "minimum ns/op tolerance in percent (wall-clock noise on shared hardware)")
@@ -134,6 +138,31 @@ func main() {
 	// streams. A fresh Scheduler per op keeps every measurement cold-cache.
 	batch0 := batchItems(batchN, batchN)
 	batch90 := batchItems(batchN, 7)
+
+	// Streaming workloads (mirroring BenchmarkStreamPush and
+	// BenchmarkStreamFirstResult in bench_test.go): the same seed-11 trace as
+	// the single-request paths, split into StreamBlocks. StreamPush measures
+	// one steady-state k=1 push on an unending stream (the trace repeated
+	// with dependence IDs rebased to each cycle's fresh stream IDs);
+	// StreamFirstResult measures a cold k=0 scheduler plus the single push
+	// after which the first block's schedule is final.
+	sblocks, _, err := aisched.TraceStreamBlocks(g)
+	if err != nil {
+		fatal(err)
+	}
+	const streamCycles = 64
+	var streamLong []aisched.StreamBlock
+	for c := 0; c < streamCycles; c++ {
+		off := graph.NodeID(c * g.Len())
+		for _, b := range sblocks {
+			nb := aisched.StreamBlock{Nodes: b.Nodes, Deps: make([]aisched.StreamDep, len(b.Deps))}
+			for i, d := range b.Deps {
+				nb.Deps[i] = aisched.StreamDep{Src: d.Src + off, Dst: d.Dst + off, Latency: d.Latency}
+			}
+			streamLong = append(streamLong, nb)
+		}
+	}
+	streamWarm := 2 * len(sblocks)
 	runBatch := func(b *testing.B, items []aisched.BatchItem) {
 		for i := 0; i < b.N; i++ {
 			sc := aisched.NewScheduler(aisched.SchedulerOptions{})
@@ -178,6 +207,44 @@ func main() {
 					if _, err := aisched.ScheduleTrace(it.G, it.M); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		}},
+		{"StreamPush", func(b *testing.B) {
+			newWarm := func() *aisched.StreamScheduler {
+				ss := aisched.NewStreamScheduler(m, aisched.StreamOptions{Lookahead: 1})
+				for _, blk := range streamLong[:streamWarm] {
+					if _, err := ss.Push(blk); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return ss
+			}
+			ss := newWarm()
+			i := streamWarm
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if i == len(streamLong) {
+					b.StopTimer()
+					ss = newWarm()
+					i = streamWarm
+					b.StartTimer()
+				}
+				if _, err := ss.Push(streamLong[i]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		}},
+		{"StreamFirstResult", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss := aisched.NewStreamScheduler(m, aisched.StreamOptions{})
+				res, err := ss.Push(sblocks[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 1 {
+					b.Fatalf("first push finalized %d blocks, want 1", len(res))
 				}
 			}
 		}},
@@ -226,6 +293,10 @@ func main() {
 	if s, bt := snap.Benchmarks["SerialDup90"], snap.Benchmarks["BatchDup90"]; bt.NsPerOp > 0 {
 		fmt.Printf("amortized at ~90%% dup: batch %d ns/block vs serial %d ns/block (%.1fx)\n",
 			bt.NsPerOp/batchN, s.NsPerOp/batchN, float64(s.NsPerOp)/float64(bt.NsPerOp))
+	}
+	if fr, st := snap.Benchmarks["StreamFirstResult"], snap.Benchmarks["ScheduleTrace"]; fr.NsPerOp > 0 {
+		fmt.Printf("time-to-first-schedule: stream %d ns vs batch %d ns (%.1fx)\n",
+			fr.NsPerOp, st.NsPerOp, float64(st.NsPerOp)/float64(fr.NsPerOp))
 	}
 
 	if *compare != "" {

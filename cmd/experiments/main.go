@@ -53,6 +53,7 @@ func main() {
 		{"B1", def(experiments.B1, 200)},
 		{"A2", def(experiments.A2, 20)},
 		{"R1", def(experiments.R1, 50)},
+		{"S1", def(experiments.S1, 30)},
 		{"O1", experiments.O1},
 		{"O2", experiments.O2},
 	}

@@ -125,6 +125,44 @@ func FuzzScheduleBlock(f *testing.F) {
 	})
 }
 
+// TestWindowRealizabilityRegression pins the PR 7 fuzz finding (see
+// EXPERIMENTS.md): on this W=2 two-block instance the deadline-confined
+// merge used to slide carried node 5 three cycles later and hoist the next
+// block's first instruction into the vacated slot — a prediction the
+// anchored window cannot execute from the static order, simulating at 13
+// cycles vs the baseline's 11. The window-realizability repair re-merges
+// with carried finish times pinned and recovers the legal 11-cycle schedule.
+func TestWindowRealizabilityRegression(t *testing.T) {
+	data := []byte("0A00000010000\x809\x80$71\x819\x81$\x820\x830\x86(()aA(a")
+	g, m := decodeInstance(data, true)
+	if g == nil {
+		t.Fatal("corpus input no longer decodes to an instance")
+	}
+	res, err := ScheduleTrace(g, m)
+	if err != nil {
+		t.Fatalf("ScheduleTrace: %v", err)
+	}
+	la, err := hw.SimulateTrace(g, m, res.StaticOrder())
+	if err != nil {
+		t.Fatalf("simulate anticipatory: %v", err)
+	}
+	order, err := baseline.ScheduleTrace(baseline.CriticalPath{}, g, m)
+	if err != nil {
+		t.Fatalf("baseline order: %v", err)
+	}
+	lb, err := hw.SimulateTrace(g, m, order)
+	if err != nil {
+		t.Fatalf("simulate baseline: %v", err)
+	}
+	if la.Completion > lb.Completion {
+		t.Fatalf("anticipatory completion %d still loses to baseline %d", la.Completion, lb.Completion)
+	}
+	if la.Completion > res.Makespan() {
+		t.Fatalf("predicted makespan %d is unrealizable: simulated completion %d",
+			res.Makespan(), la.Completion)
+	}
+}
+
 // FuzzScheduleTrace: multi-block restricted instances through Algorithm
 // Lookahead, checked against the per-block baseline under the window
 // simulator.
@@ -135,6 +173,11 @@ func FuzzScheduleTrace(f *testing.F) {
 	f.Add(encodeInstance(fig2.G, 2))
 	f.Add([]byte{})
 	f.Add([]byte{1, 9, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0x80, 4, 2, 7, 0x85, 10})
+	// The PR 7 window-realizability finding (EXPERIMENTS.md): before the
+	// merge repair, the deadline-confined merge slid a carried node past an
+	// idle slot and predicted an execution the W=2 window could not reach,
+	// losing 2 cycles to the baseline (13 vs 11).
+	f.Add([]byte("0A00000010000\x809\x80$71\x819\x81$\x820\x830\x86(()aA(a"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, m := decodeInstance(data, true)
 		if g == nil {

@@ -47,6 +47,8 @@ func referenceLookahead(g *graph.Graph, m *machine.Machine, opt Options) (*Resul
 	var emitted []graph.NodeID
 	var oldIDs []graph.NodeID
 	dOld := map[graph.NodeID]int{}
+	fOld := map[graph.NodeID]int{}
+	relAbs := make([]int, g.Len()) // absolute releases from committed latencies
 	oldMakespan := 0
 	var plusOrder []graph.NodeID
 	timeBase := 0
@@ -75,8 +77,12 @@ func referenceLookahead(g *graph.Graph, m *machine.Machine, opt Options) (*Resul
 			isOld[toSub[id]] = true
 		}
 		tie := subTie(ids, tiePos)
+		rel := make([]int, sub.Len())
+		for si, oi := range ids {
+			rel[si] = relAbs[oi] - timeBase
+		}
 
-		res0, err := rank.ReferenceRun(sub, m, rank.UniformDeadlines(sub.Len(), rank.Big), tie)
+		res0, err := rank.ReferenceRunRel(sub, m, rank.UniformDeadlines(sub.Len(), rank.Big), tie, rel)
 		if err != nil {
 			return nil, err
 		}
@@ -92,49 +98,89 @@ func referenceLookahead(g *graph.Graph, m *machine.Machine, opt Options) (*Resul
 				d[si] = t
 			}
 		}
-		res, err := rank.ReferenceRun(sub, m, d, tie)
+		// mergeRounds mirrors Step.mergeRounds: re-rank under the assigned
+		// deadlines, loosen the new deadlines until feasible, then the §4.2
+		// heuristic fallback syncing deadlines to achieved finishes.
+		mergeRounds := func(d []int) (*sched.Schedule, error) {
+			res, err := rank.ReferenceRunRel(sub, m, d, tie, rel)
+			if err != nil {
+				return nil, err
+			}
+			for bump := 0; !res.Feasible && bump <= maxBump(sub); bump++ {
+				for si := 0; si < sub.Len(); si++ {
+					if !isOld[si] {
+						d[si]++
+					}
+				}
+				res, err = rank.ReferenceRunRel(sub, m, d, tie, rel)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for tries := 0; !res.Feasible && tries < 30; tries++ {
+				changed := false
+				for si := 0; si < sub.Len(); si++ {
+					if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
+						d[si] = f
+						changed = true
+					}
+				}
+				if !changed {
+					break
+				}
+				res, err = rank.ReferenceRunRel(sub, m, d, tie, rel)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !res.Feasible {
+				for si := 0; si < sub.Len(); si++ {
+					if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
+						d[si] = f
+					}
+				}
+			}
+			return res.S, nil
+		}
+		s, err := mergeRounds(d)
 		if err != nil {
 			return nil, err
 		}
-		for bump := 0; !res.Feasible && bump <= maxBump(sub); bump++ {
-			for si := 0; si < sub.Len(); si++ {
-				if !isOld[si] {
-					d[si]++
-				}
-			}
-			res, err = rank.ReferenceRun(sub, m, d, tie)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for tries := 0; !res.Feasible && tries < 30; tries++ {
-			changed := false
-			for si := 0; si < sub.Len(); si++ {
-				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
-					d[si] = f
-					changed = true
-				}
-			}
-			if !changed {
-				break
-			}
-			res, err = rank.ReferenceRun(sub, m, d, tie)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if !res.Feasible {
-			for si := 0; si < sub.Len(); si++ {
-				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
-					d[si] = f
-				}
-			}
-		}
-		s := res.S
 		if !opt.SkipDelay {
-			s, d, err = idle.ReferenceDelayIdleSlots(s, m, d, tie)
+			s, d, err = idle.ReferenceDelayIdleSlotsRel(s, m, d, tie, rel)
 			if err != nil {
 				return nil, err
+			}
+		}
+		// Window-realizability repair, mirroring Step.Run: in the restricted
+		// model, if the predicted execution is unreachable from the static
+		// order under the anchored W-window, redo the merge with old deadlines
+		// pinned to carried finish times.
+		if referenceRestricted(sub, m) && !referenceWindowRealizable(s, sub, m.Window) {
+			dSave := append([]int(nil), d...)
+			sSave := s
+			for si := 0; si < sub.Len(); si++ {
+				if isOld[si] {
+					d[si] = fOld[ids[si]]
+				} else {
+					d[si] = t
+				}
+			}
+			s2, err := mergeRounds(d)
+			if err != nil {
+				return nil, err
+			}
+			if !opt.SkipDelay {
+				s2, d, err = idle.ReferenceDelayIdleSlotsRel(s2, m, d, tie, rel)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if referenceWindowRealizable(s2, sub, m.Window) {
+				s = s2
+			} else {
+				s = sSave
+				copy(d, dSave)
 			}
 		}
 		minus, plus, base := referenceChop(s, m.Window)
@@ -143,14 +189,27 @@ func referenceLookahead(g *graph.Graph, m *machine.Machine, opt Options) (*Resul
 			emitted = append(emitted, oi)
 			absStart[oi] = s.Start[si] + timeBase
 			absUnit[oi] = s.Unit[si]
+			// Mirror LookaheadOpts: record the committed node's latency
+			// lower bounds as absolute releases on its destinations.
+			f := absStart[oi] + g.Node(oi).Exec
+			for _, e := range g.Out(oi) {
+				if e.Distance != 0 {
+					continue
+				}
+				if r := f + e.Latency; r > relAbs[e.Dst] {
+					relAbs[e.Dst] = r
+				}
+			}
 		}
 		oldIDs = oldIDs[:0]
 		dOld = map[graph.NodeID]int{}
+		fOld = map[graph.NodeID]int{}
 		plusOrder = plusOrder[:0]
 		for _, si := range plus {
 			oi := ids[si]
 			oldIDs = append(oldIDs, oi)
 			dOld[oi] = d[si] - base
+			fOld[oi] = s.Finish(si) - base
 			plusOrder = append(plusOrder, oi)
 			absStart[oi] = s.Start[si] + timeBase
 			absUnit[oi] = s.Unit[si]
@@ -171,6 +230,60 @@ func referenceLookahead(g *graph.Graph, m *machine.Machine, opt Options) (*Resul
 		out.BlockOrders[b] = append(out.BlockOrders[b], id)
 	}
 	return out, nil
+}
+
+// referenceRestricted mirrors Step.restrictedModel on the induced subgraph.
+func referenceRestricted(sub *graph.Graph, m *machine.Machine) bool {
+	if m.TotalUnits() != 1 {
+		return false
+	}
+	for v := 0; v < sub.Len(); v++ {
+		if sub.Node(graph.NodeID(v)).Exec != 1 {
+			return false
+		}
+		for _, e := range sub.Out(graph.NodeID(v)) {
+			if e.Latency > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// referenceWindowRealizable is the naive mirror of Step.windowRealizable:
+// every node must lie within w static positions of the statically-oldest
+// instruction still unissued at its start time.
+func referenceWindowRealizable(s *sched.Schedule, sub *graph.Graph, w int) bool {
+	n := sub.Len()
+	static := make([]graph.NodeID, n)
+	byTime := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		static[i] = graph.NodeID(i)
+		byTime[i] = graph.NodeID(i)
+	}
+	sort.Slice(static, func(i, j int) bool {
+		a, b := static[i], static[j]
+		if sub.Node(a).Block != sub.Node(b).Block {
+			return sub.Node(a).Block < sub.Node(b).Block
+		}
+		return s.Start[a] < s.Start[b]
+	})
+	pos := make([]int, n)
+	for i, id := range static {
+		pos[id] = i
+	}
+	sort.Slice(byTime, func(i, j int) bool { return s.Start[byTime[i]] < s.Start[byTime[j]] })
+	minPos := n
+	for i := n - 1; i >= 0; i-- {
+		p := pos[byTime[i]]
+		if p < minPos {
+			minPos = p
+		}
+		if p-minPos >= w {
+			return false
+		}
+	}
+	return true
 }
 
 // referenceChop is chop with the original per-slot linear rescan of the

@@ -37,10 +37,8 @@ import (
 	"sync"
 
 	"aisched/internal/graph"
-	"aisched/internal/idle"
 	"aisched/internal/machine"
 	"aisched/internal/obs"
-	"aisched/internal/rank"
 	"aisched/internal/sbudget"
 	"aisched/internal/sched"
 )
@@ -57,23 +55,23 @@ type laScratch struct {
 	absStart []int
 	absUnit  []int
 	dOld     []int // carried-suffix deadlines, dense by original node ID
+	fOld     []int // carried-suffix finish times, dense by original node ID
+	relAbs   []int // absolute release times, dense by original node ID
 	byBlock  []graph.NodeID
 
-	ctx *rank.Ctx
-	sub graph.Sub
+	step   Step
+	stepIn StepIn
+	sub    graph.Sub
 
-	ids         []graph.NodeID
-	oldIDs      []graph.NodeID
-	plusOrder   []graph.NodeID
-	emitted     []graph.NodeID
-	tie         []graph.NodeID
-	isOld       []bool
-	d           []int
-	ranks       []int
-	newMask     graph.Bitset
-	changedMask graph.Bitset
-
-	chop chopScratch
+	ids       []graph.NodeID
+	oldIDs    []graph.NodeID
+	plusOrder []graph.NodeID
+	emitted   []graph.NodeID
+	tie       []graph.NodeID
+	isOld     []bool
+	dv        []int // per-view carried deadlines handed to Step
+	fv        []int // per-view carried finishes handed to Step
+	rv        []int // per-view carried releases handed to Step
 
 	blockOff []int
 }
@@ -86,6 +84,8 @@ func (st *laScratch) grow(n int) {
 		st.absStart = make([]int, n)
 		st.absUnit = make([]int, n)
 		st.dOld = make([]int, n)
+		st.fOld = make([]int, n)
+		st.relAbs = make([]int, n)
 		st.byBlock = make([]graph.NodeID, n)
 	}
 }
@@ -249,14 +249,22 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		return csr.Block(a) - csr.Block(b)
 	})
 
-	if scratch.ctx == nil {
-		scratch.ctx = rank.NewReusable()
-	}
-	rc := scratch.ctx
-
 	emitted := scratch.emitted[:0]
 	oldIDs := scratch.oldIDs[:0] // original IDs carried forward
 	dOld := scratch.dOld[:n]     // deadlines of carried nodes, dense by original ID
+	fOld := scratch.fOld[:n]     // finish times of carried nodes, dense by original ID
+	// relAbs[v] is the absolute earliest start owed to v by latencies of
+	// already-committed predecessors. Chop commits a prefix and drops its
+	// nodes — and their out-edges — from every later view, so each committed
+	// node's latencies are recorded here and handed to the later merges as
+	// frame-relative release times. In the restricted model (0/1 latencies)
+	// the chop's idle slot provides exactly the needed slack and every
+	// release is stale by construction; longer latencies (§4.2 machines)
+	// genuinely need the floor or a later merge may hoist a dependent above
+	// it and predict an illegal start.
+	relAbs := scratch.relAbs[:n]
+	clear(relAbs)
+	gview := csr.View()
 	oldMakespan := 0
 	plusOrder := scratch.plusOrder[:0] // S+ of the most recent iteration, original IDs
 	// Stitched absolute schedule: frames advance by each chop's base.
@@ -298,152 +306,61 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		}
 		scratch.tie = subTieInto(scratch.tie, ids, tiePos)
 		tie := scratch.tie
-		// One rank context per induced view: the merge re-ranks, every
-		// loosening round and the whole Delay_Idle_Slots pass below share
-		// its cached topo order, descendant closure and scratch — and the
-		// context itself (arena included) is recycled across blocks and
-		// calls.
-		if err := rc.Reset(view, m, nil); err != nil {
-			return nil, err
-		}
-		rc.SetBudget(opt.Budget)
-
-		// ---- merge (paper Figure 7) ----
-		// Lower bound pass: every deadline = D.
-		scratch.d = growSlice(scratch.d, sn)
-		d := scratch.d
-		for i := range d {
-			d[i] = rank.Big
-		}
-		scratch.ranks = growSlice(scratch.ranks, sn)
-		ranks := scratch.ranks
-		if err := rc.ComputeInto(ranks, d); err != nil {
-			return nil, err
-		}
-		res0, err := rc.RunRanks(ranks, d, tie)
-		if err != nil {
-			return nil, err
-		}
-		t := res0.S.Makespan()
-		// Deadline assignment: old confined to its standalone makespan (or
-		// its previously committed tighter deadline), new bounded by T.
-		scratch.newMask = growBits(scratch.newMask, sn)
-		newMask := scratch.newMask
+		scratch.dv = growSlice(scratch.dv, sn)
+		scratch.fv = growSlice(scratch.fv, sn)
+		scratch.rv = growSlice(scratch.rv, sn)
+		rv := scratch.rv
 		for si := 0; si < sn; si++ {
 			if isOld[si] {
-				d[si] = dOld[ids[si]]
-				if oldMakespan < d[si] {
-					d[si] = oldMakespan
-				}
-			} else {
-				d[si] = t
-				newMask.Set(si)
+				scratch.dv[si] = dOld[ids[si]]
+				scratch.fv[si] = fOld[ids[si]]
 			}
+			rv[si] = relAbs[ids[si]] - timeBase
 		}
-		if err := rc.ComputeInto(ranks, d); err != nil {
-			return nil, err
+		// The merge + Delay_Idle_Slots + chop iteration itself lives in
+		// Step.Run, shared verbatim with the streaming driver.
+		scratch.stepIn = StepIn{
+			View: view, M: m, Tie: tie, IsOld: isOld,
+			DOld: scratch.dv, FOld: scratch.fv, ROld: rv,
+			OldCount: len(oldIDs), OldMakespan: oldMakespan,
+			Block: b, SkipDelay: opt.SkipDelay,
+			Tracer: tr, Budget: opt.Budget,
 		}
-		res, err := rc.RunRanks(ranks, d, tie)
+		out, err := scratch.step.Run(&scratch.stepIn)
 		if err != nil {
 			return nil, err
 		}
-		mb := 1
-		if view.MaxLat > mb {
-			mb = view.MaxLat
-		}
-		mb = 4 * (sn + mb + 2) // maxBump over the view
-		for bump := 0; !res.Feasible && bump <= mb; bump++ {
-			if tr != nil {
-				tr.Emit(obs.Event{Kind: obs.KindMergeLoosen, Block: b,
-					Node: graph.None, N: bump + 1})
-			}
-			for si := 0; si < sn; si++ {
-				if !isOld[si] {
-					d[si]++
-				}
-			}
-			// Only the new nodes' deadlines moved: re-rank them and their
-			// ancestors instead of the whole subgraph.
-			rc.Update(ranks, d, newMask)
-			res, err = rc.RunRanks(ranks, d, tie)
-			if err != nil {
-				return nil, err
-			}
-		}
-		// Heuristic-regime fallback (§4.2): with multiple units, multi-cycle
-		// instructions or long latencies, greedy-by-rank may miss even the
-		// old nodes' deadlines no matter how far the new deadlines are
-		// loosened. The paper guarantees a feasible schedule exists (old
-		// followed by new); rather than abort, sync every deadline to the
-		// achieved finish time so the pipeline proceeds with the best
-		// schedule found.
-		scratch.changedMask = growBits(scratch.changedMask, sn)
-		changedMask := scratch.changedMask
-		for tries := 0; !res.Feasible && tries < 30; tries++ {
-			clear(changedMask)
-			changed := false
-			for si := 0; si < sn; si++ {
-				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
-					d[si] = f
-					changedMask.Set(si)
-					changed = true
-				}
-			}
-			if !changed {
-				break
-			}
-			rc.Update(ranks, d, changedMask)
-			res, err = rc.RunRanks(ranks, d, tie)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if !res.Feasible {
-			for si := 0; si < sn; si++ {
-				if f := res.S.Finish(graph.NodeID(si)); f > d[si] {
-					d[si] = f
-				}
-			}
-		}
-		s := res.S
-		if tr != nil {
-			tr.Emit(obs.Event{Kind: obs.KindMerge, Block: b, Node: graph.None,
-				From: len(oldIDs), To: len(newIDs), N: s.Makespan()})
-		}
-
-		// ---- Delay_Idle_Slots ----
-		if !opt.SkipDelay {
-			s, d, err = idle.DelayIdleSlotsCtx(rc, s, d, tie, tr)
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		// ---- chop ----
-		minus, plus, base := scratch.chop.chop(s, m.Window)
-		if tr != nil {
-			tr.Emit(obs.Event{Kind: obs.KindChop, Block: b, Node: graph.None,
-				From: len(minus), To: len(plus), N: base})
-		}
-		for _, si := range minus {
+		s, d := out.S, out.D
+		for _, si := range out.Minus {
 			oi := ids[si]
 			emitted = append(emitted, oi)
 			absStart[oi] = s.Start[si] + timeBase
 			absUnit[oi] = s.Unit[si]
+			// The committed node's out-edges vanish from every later view;
+			// record their latency lower bounds as absolute releases on the
+			// destinations — carried nodes and nodes of blocks that have not
+			// even arrived yet alike.
+			f := absStart[oi] + int(gview.Exec[oi])
+			for ei := gview.Off[oi]; ei < gview.Off[oi+1]; ei++ {
+				if r := f + int(gview.Lat[ei]); r > relAbs[gview.Dst[ei]] {
+					relAbs[gview.Dst[ei]] = r
+				}
+			}
 		}
 		oldIDs = oldIDs[:0]
 		plusOrder = plusOrder[:0]
-		for _, si := range plus {
+		for _, si := range out.Plus {
 			oi := ids[si]
 			oldIDs = append(oldIDs, oi)
-			dOld[oi] = d[si] - base
+			dOld[oi] = d[si] - out.Base
+			fOld[oi] = s.Finish(si) - out.Base
 			plusOrder = append(plusOrder, oi)
 			// Tentative placement; overwritten if a later merge reorders it.
 			absStart[oi] = s.Start[si] + timeBase
 			absUnit[oi] = s.Unit[si]
 		}
-		oldMakespan = s.Makespan() - base
-		timeBase += base
+		oldMakespan = s.Makespan() - out.Base
+		timeBase += out.Base
 	}
 	emitted = append(emitted, plusOrder...)
 	scratch.emitted = emitted[:0]

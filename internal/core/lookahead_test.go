@@ -323,3 +323,72 @@ func TestPropertyBlockOrdersPartitionNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// randomLatencyTrace is randomTrace with multi-cycle exec times (1-3) and
+// latencies up to 5: the mixed-latency regime where commit-time release
+// propagation is load-bearing. Class assignment cycles through classes so
+// multi-class machines are exercised too.
+func randomLatencyTrace(r *rand.Rand, nblocks, nodesPer int, pIn, pX float64, classes int) *graph.Graph {
+	g := graph.New(nblocks * nodesPer)
+	var blockNodes [][]graph.NodeID
+	for b := 0; b < nblocks; b++ {
+		var ids []graph.NodeID
+		for i := 0; i < nodesPer; i++ {
+			ids = append(ids, g.AddNode("n", 1+r.Intn(3), (b*nodesPer+i)%classes, b))
+		}
+		blockNodes = append(blockNodes, ids)
+	}
+	for b := 0; b < nblocks; b++ {
+		ids := blockNodes[b]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if r.Float64() < pIn {
+					g.MustEdge(ids[i], ids[j], r.Intn(6), 0)
+				}
+			}
+			if b+1 < nblocks {
+				for _, jd := range blockNodes[b+1] {
+					if r.Float64() < pX {
+						g.MustEdge(ids[i], jd, r.Intn(6), 0)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestLookaheadPredictionLegal(t *testing.T) {
+	// Regression for the cross-chop latency violation: before commit-time
+	// release propagation, a latency edge whose source was chopped into the
+	// committed prefix placed no constraint on later merges, so the predicted
+	// schedule could start a successor before its operand was ready (116/300
+	// of these seeds produced an illegal schedule). The restricted model
+	// (0/1 latencies) is immune — chop's idle-slot criterion already covers
+	// it — so this test runs the mixed-latency regime that actually needs
+	// the releases.
+	machines := []struct {
+		name    string
+		m       *machine.Machine
+		classes int
+	}{
+		{"single-unit", machine.SingleUnit(4), 1},
+		{"rs6000", machine.RS6000(4), 3},
+		{"superscalar", machine.Superscalar(2, 4), 1},
+	}
+	for _, mc := range machines {
+		t.Run(mc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 100; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				g := randomLatencyTrace(r, 2+r.Intn(4), 3+r.Intn(5), 0.3, 0.2, mc.classes)
+				res, err := Lookahead(g, mc.m)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := res.S.Validate(); err != nil {
+					t.Fatalf("seed %d: predicted schedule illegal: %v", seed, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aisched"
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/tables"
+	"aisched/internal/workload"
+)
+
+// S1 evaluates the streaming scheduler against batch Algorithm Lookahead on
+// two axes:
+//
+//  1. Completion gap vs the lookahead k. Each trace is streamed at k ∈
+//     {0, 1, 2, 4, ∞} and the finalized static order is run through the
+//     window simulator; the table reports the mean dynamic completion and
+//     its gap vs the batch schedule, plus the worst emit lag observed. The
+//     gap is what bounded finality costs: k = 0 finalizes every block the
+//     push it arrives (no anticipation across uncommitted suffixes beyond
+//     chop's own commits), k = ∞ is bit-identical to batch by construction
+//     — asserted, not assumed.
+//  2. Time-to-first-schedule across trace lengths. A consumer of the batch
+//     API waits for the whole trace to be scheduled before the first
+//     block's code exists; a streaming consumer waits for one push. The
+//     notes report the measured wall-clock ratio per trace length — O(n)
+//     vs O(block), so it grows with the trace (the committed benchmark
+//     figures are in BENCH_PR7.json; the ISSUE acceptance of ≥5× at 8
+//     blocks is enforced there, not by this wall-clock-noisy check).
+func S1(seed int64, instances int) (*Result, error) {
+	r := rand.New(rand.NewSource(seed))
+	m := machine.SingleUnit(4)
+	t := tables.New(fmt.Sprintf("S1: streaming completion gap vs lookahead k (%d instances)", instances),
+		"k", "worst lag", "mean completion", "gap vs batch", "orders = batch")
+	res := &Result{ID: "S1", Table: t, Passed: true}
+
+	graphs := make([]*aisched.Graph, instances)
+	for i := range graphs {
+		g, err := workload.Trace(r, workload.DefaultTrace())
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+
+	// batchOrders[i] is instance i's batch static order; batchMean the mean
+	// simulated completion the streamed schedules are measured against.
+	batchOrders := make([][]graph.NodeID, instances)
+	batchTotal := 0
+	for i, g := range graphs {
+		tr, err := aisched.ScheduleTrace(g, m)
+		if err != nil {
+			return nil, err
+		}
+		batchOrders[i] = tr.StaticOrder()
+		sim, err := aisched.SimulateTrace(g, m, batchOrders[i])
+		if err != nil {
+			return nil, err
+		}
+		batchTotal += sim.Completion
+	}
+	batchMean := float64(batchTotal) / float64(instances)
+
+	ks := []int{0, 1, 2, 4, aisched.LookaheadUnbounded}
+	for _, k := range ks {
+		total, worstLag, identical := 0, 0, 0
+		for i, g := range graphs {
+			order, lag, err := streamOrder(g, m, k)
+			if err != nil {
+				return nil, err
+			}
+			if lag > worstLag {
+				worstLag = lag
+			}
+			if k != aisched.LookaheadUnbounded && lag > k {
+				res.Passed = false
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"k=%d instance %d: emit lag %d exceeds the lookahead bound", k, i, lag))
+			}
+			if orderEqual(order, batchOrders[i]) {
+				identical++
+			} else if k == aisched.LookaheadUnbounded {
+				res.Passed = false
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"k=∞ instance %d: streamed order differs from batch", i))
+			}
+			sim, err := aisched.SimulateTrace(g, m, order)
+			if err != nil {
+				return nil, err
+			}
+			total += sim.Completion
+		}
+		mean := float64(total) / float64(instances)
+		t.Add(kName(k), worstLag, fmt.Sprintf("%.1f", mean),
+			fmt.Sprintf("%+.1f%%", 100*(mean-batchMean)/batchMean),
+			fmt.Sprintf("%d/%d", identical, instances))
+	}
+
+	// Time-to-first-schedule: cold scheduler + one push vs the whole batch
+	// call, best of reps (wall-clock; reported, not gated — see the
+	// benchsnap snapshot for the enforced figures).
+	for _, blocks := range []int{8, 16, 32, 64} {
+		cfg := workload.DefaultTrace()
+		cfg.Blocks = blocks
+		g, err := workload.Trace(rand.New(rand.NewSource(seed+int64(blocks))), cfg)
+		if err != nil {
+			return nil, err
+		}
+		sblocks, _, err := aisched.TraceStreamBlocks(g)
+		if err != nil {
+			return nil, err
+		}
+		const reps = 20
+		var stream, batch time.Duration
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			ss := aisched.NewStreamScheduler(m, aisched.StreamOptions{})
+			if _, err := ss.Push(sblocks[0]); err != nil {
+				return nil, err
+			}
+			d := time.Since(t0)
+			if rep == 0 || d < stream {
+				stream = d
+			}
+			t0 = time.Now()
+			if _, err := aisched.ScheduleTrace(g, m); err != nil {
+				return nil, err
+			}
+			d = time.Since(t0)
+			if rep == 0 || d < batch {
+				batch = d
+			}
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"time-to-first-schedule, %d blocks: stream %v vs batch %v (%.1fx)",
+			blocks, stream, batch, float64(batch)/float64(stream)))
+	}
+	return res, nil
+}
+
+// streamOrder streams g's blocks through a fresh scheduler at lookahead k
+// and returns the concatenated finalized static order (stream IDs coincide
+// with g's node IDs per TraceStreamBlocks) plus the worst emit lag.
+func streamOrder(g *aisched.Graph, m *machine.Machine, k int) ([]graph.NodeID, int, error) {
+	sblocks, _, err := aisched.TraceStreamBlocks(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	ss := aisched.NewStreamScheduler(m, aisched.StreamOptions{Lookahead: k})
+	var results []*aisched.BlockResult
+	for _, sb := range sblocks {
+		rs, err := ss.Push(sb)
+		if err != nil {
+			return nil, 0, err
+		}
+		results = append(results, rs...)
+	}
+	rs, err := ss.Flush()
+	if err != nil {
+		return nil, 0, err
+	}
+	results = append(results, rs...)
+	var order []graph.NodeID
+	worstLag := 0
+	for _, br := range results {
+		order = append(order, br.Order...)
+		if br.Lag > worstLag {
+			worstLag = br.Lag
+		}
+	}
+	return order, worstLag, nil
+}
+
+func orderEqual(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func kName(k int) string {
+	if k == aisched.LookaheadUnbounded {
+		return "∞"
+	}
+	return fmt.Sprint(k)
+}

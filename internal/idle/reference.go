@@ -19,6 +19,13 @@ import (
 // ReferenceMoveIdleSlot is the retained naive implementation of
 // MoveIdleSlot.
 func ReferenceMoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID) (*MoveResult, error) {
+	return ReferenceMoveIdleSlotRel(s, m, d, unit, t, tie, nil)
+}
+
+// ReferenceMoveIdleSlotRel is ReferenceMoveIdleSlot with per-node release
+// times on every reschedule, mirroring the context engine's Ctx.SetRelease
+// for the differential lookahead oracle.
+func ReferenceMoveIdleSlotRel(s *sched.Schedule, m *machine.Machine, d []int, unit, t int, tie []graph.NodeID, rel []int) (*MoveResult, error) {
 	g := s.G
 	if len(d) != g.Len() {
 		return nil, fmt.Errorf("idle: %d deadlines for %d nodes", len(d), g.Len())
@@ -70,7 +77,7 @@ func ReferenceMoveIdleSlot(s *sched.Schedule, m *machine.Machine, d []int, unit,
 			return fail, nil
 		}
 
-		res, err := rank.ReferenceRun(g, m, dd, tie)
+		res, err := rank.ReferenceRunRel(g, m, dd, tie, rel)
 		if err != nil {
 			return nil, err
 		}
@@ -110,6 +117,12 @@ func referenceTailNode(s *sched.Schedule, unit, t int) graph.NodeID {
 // ReferenceDelayIdleSlots is the retained naive implementation of
 // DelayIdleSlots.
 func ReferenceDelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID) (*sched.Schedule, []int, error) {
+	return ReferenceDelayIdleSlotsRel(s, m, d, tie, nil)
+}
+
+// ReferenceDelayIdleSlotsRel is ReferenceDelayIdleSlots with per-node
+// release times on every reschedule (see ReferenceMoveIdleSlotRel).
+func ReferenceDelayIdleSlotsRel(s *sched.Schedule, m *machine.Machine, d []int, tie []graph.NodeID, rel []int) (*sched.Schedule, []int, error) {
 	cur := s
 	dd := append([]int(nil), d...)
 	for unit := 0; unit < m.TotalUnits(); unit++ {
@@ -119,7 +132,7 @@ func ReferenceDelayIdleSlots(s *sched.Schedule, m *machine.Machine, d []int, tie
 			if ordinal >= len(slots) {
 				break
 			}
-			res, err := ReferenceMoveIdleSlot(cur, m, dd, unit, slots[ordinal], tie)
+			res, err := ReferenceMoveIdleSlotRel(cur, m, dd, unit, slots[ordinal], tie, rel)
 			if err != nil {
 				return nil, nil, err
 			}

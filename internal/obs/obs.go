@@ -97,6 +97,20 @@ const (
 	// KindFault is one injected fault (internal/faultinject); Label names
 	// the injection site. Only tests produce these.
 	KindFault
+	// KindMergePin is one window-realizability repair inside a lookahead
+	// merge: the first merge predicted an execution the hardware window
+	// cannot reach from the static order, so the merge re-ran with old
+	// deadlines pinned to carried finish times. Block the current block, N
+	// the rejected makespan.
+	KindMergePin
+	// KindStreamPush is one block accepted by the streaming scheduler:
+	// Block the block index, From the carried-suffix size before the merge,
+	// To the block's node count, N the suffix makespan after the chop.
+	KindStreamPush
+	// KindStreamEmit is one block finalized and emitted by the streaming
+	// scheduler: Block the block index, N the emit lag in blocks (pushes
+	// since the block arrived).
+	KindStreamEmit
 )
 
 // String returns the stable event-kind name used in exports.
@@ -140,6 +154,12 @@ func (k Kind) String() string {
 		return "degrade"
 	case KindFault:
 		return "fault"
+	case KindMergePin:
+		return "merge-pin"
+	case KindStreamPush:
+		return "stream-push"
+	case KindStreamEmit:
+		return "stream-emit"
 	}
 	return "unknown"
 }

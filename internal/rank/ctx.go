@@ -76,6 +76,12 @@ type Ctx struct {
 // (the default) disables checkpointing.
 func (c *Ctx) SetBudget(b *sbudget.State) { c.budget = b }
 
+// SetRelease installs per-node release times on the context's list scheduler
+// (see sched.ListScheduler.SetRelease): every RunRanks of this binding — the
+// merge rounds and the whole Delay_Idle_Slots pass alike — floors each node's
+// start at its release. Cleared by Reset; the slice is retained, not copied.
+func (c *Ctx) SetRelease(rel []int) { c.ls.SetRelease(rel) }
+
 // Aux returns the scratch value stashed by SetAux, or nil.
 func (c *Ctx) Aux() any { return c.aux }
 

@@ -187,6 +187,13 @@ func referencePackFeasible(ds []descendant, m *machine.Machine, c int) bool {
 // ReferenceRun is the retained naive implementation of Run: ReferenceCompute
 // followed by the one-shot list builder and scheduler.
 func ReferenceRun(g *graph.Graph, m *machine.Machine, d []int, tie []graph.NodeID) (*Result, error) {
+	return ReferenceRunRel(g, m, d, tie, nil)
+}
+
+// ReferenceRunRel is ReferenceRun with per-node release times on the greedy
+// scheduler, mirroring Ctx.SetRelease for the differential lookahead oracle.
+// Ranks are computed without releases in both implementations.
+func ReferenceRunRel(g *graph.Graph, m *machine.Machine, d []int, tie []graph.NodeID, rel []int) (*Result, error) {
 	ranks, err := ReferenceCompute(g, m, d)
 	if err != nil {
 		return nil, err
@@ -195,7 +202,7 @@ func ReferenceRun(g *graph.Graph, m *machine.Machine, d []int, tie []graph.NodeI
 		tie = sched.SourceOrder(g)
 	}
 	list := ListFromRanks(g, ranks, tie)
-	s, err := sched.ListSchedule(g, m, list)
+	s, err := sched.ListScheduleRelease(g, m, list, rel)
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,18 @@ func ListSchedule(g *graph.Graph, m *machine.Machine, priority []graph.NodeID) (
 	return ls.Run(priority)
 }
 
+// ListScheduleRelease is ListSchedule with per-node release times (see
+// ListScheduler.SetRelease); rel may be nil. It serves the naive reference
+// pipelines of the differential tests — hot paths hold a ListScheduler.
+func ListScheduleRelease(g *graph.Graph, m *machine.Machine, priority []graph.NodeID, rel []int) (*Schedule, error) {
+	ls, err := NewListScheduler(g, m)
+	if err != nil {
+		return nil, err
+	}
+	ls.SetRelease(rel)
+	return ls.Run(priority)
+}
+
 // ListScheduler runs the greedy list scheduler repeatedly over one graph
 // view and machine, reusing the readiness scratch between runs. It is the
 // allocation-free core behind ListSchedule; the Rank Algorithm context
@@ -60,6 +72,9 @@ type ListScheduler struct {
 	remaining []int
 	unitFree  []int
 	seen      []bool
+	// rel, when non-nil, holds per-node release times seeding earliest at
+	// the start of every run (see SetRelease).
+	rel []int
 	// ubase/ucount cache unitBase per class present in the view.
 	ubase  []int
 	ucount []int
@@ -94,6 +109,7 @@ func (ls *ListScheduler) Reset(view graph.AdjView, m *machine.Machine, g *graph.
 	ls.off, ls.dst, ls.lat = view.Off, view.Dst, view.Lat
 	ls.exec, ls.class, ls.labels = view.Exec, view.Class, view.Labels
 	ls.g, ls.m = g, m
+	ls.rel = nil
 
 	if cap(ls.indeg) < n {
 		ls.indeg = make([]int, n)
@@ -133,6 +149,16 @@ func (ls *ListScheduler) Reset(view graph.AdjView, m *machine.Machine, g *graph.
 	}
 }
 
+// SetRelease installs per-node release times: node v may not start before
+// rel[v], exactly as if an already-emitted predecessor's finish + latency
+// landed there. The slice is retained (not copied) and read by every Run
+// until the next Reset or SetRelease(nil); its length must match the bound
+// view. Values ≤ 0 are no constraint. Anticipatory scheduling uses this to
+// keep latencies sound across chop commits: edges from a committed prefix
+// into the carried suffix leave the merge's view, so their lower bounds ride
+// along as release times instead.
+func (ls *ListScheduler) SetRelease(rel []int) { ls.rel = rel }
+
 // Run greedily schedules the priority list (see ListSchedule). Only the
 // returned Schedule is freshly allocated; all bookkeeping is reused.
 func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
@@ -154,10 +180,18 @@ func (ls *ListScheduler) Run(priority []graph.NodeID) (*Schedule, error) {
 		s.Start[i] = Unassigned
 		s.Unit[i] = Unassigned
 	}
-	// earliest[v]: max over scheduled preds of finish+latency; -1 per
-	// unsatisfied pred is tracked via remaining count.
+	// earliest[v]: max over scheduled preds of finish+latency, floored at
+	// the release time when one is set; -1 per unsatisfied pred is tracked
+	// via remaining count.
 	earliest := ls.earliest
-	clear(earliest)
+	if ls.rel != nil {
+		if len(ls.rel) != n {
+			return nil, fmt.Errorf("sched: %d release times for %d nodes", len(ls.rel), n)
+		}
+		copy(earliest, ls.rel)
+	} else {
+		clear(earliest)
+	}
 	remaining := ls.remaining
 	copy(remaining, ls.indeg)
 	// unitFree[u]: cycle at which global unit u becomes free.

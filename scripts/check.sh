@@ -47,6 +47,11 @@ if grep -nE 'map\[|sync\.(Mutex|RWMutex)|interface *\{|chan ' internal/metrics/r
 	echo "check: FAIL — internal/metrics/record.go grew a map/lock/chan/interface" >&2
 	exit 1
 fi
-echo "== benchsnap -compare BENCH_PR6.json"
-go run ./cmd/benchsnap -compare BENCH_PR6.json
+echo "== stream push must stay within its allocation budget"
+# The streaming scheduler's pitch is bounded per-push cost: the engine reuses
+# its rank context, compaction buffers, and CSR scratch, so a steady-state
+# push allocates a small constant (the escaping BlockResult plus schedules).
+go test -run '^TestStreamPushAllocBudget$' -count=1 .
+echo "== benchsnap -compare BENCH_PR7.json"
+go run ./cmd/benchsnap -compare BENCH_PR7.json
 echo "check: OK"
