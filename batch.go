@@ -51,6 +51,19 @@ type SchedulerOptions struct {
 	// CacheShards is the number of cache lock shards (0 = default 16;
 	// rounded up to a power of two, minimum 16).
 	CacheShards int
+	// CacheMaxBytes bounds the schedule cache's approximate resident bytes
+	// (0 = default 64 MiB; negative = entry-count bound only).
+	CacheMaxBytes int
+	// StepCacheCapacity is the structural step cache's fragment budget
+	// (0 = default 4096; negative disables it). The step cache memoizes
+	// individual merge/chop iterations inside ScheduleTrace keyed by
+	// structural fingerprints, so repeated block shapes replay in O(block)
+	// even across traces the whole-trace cache has never seen. Results are
+	// bit-identical either way.
+	StepCacheCapacity int
+	// StepCacheMaxBytes bounds the step cache's approximate resident bytes
+	// (0 = default 64 MiB; negative = fragment-count bound only).
+	StepCacheMaxBytes int
 	// Workers bounds ScheduleBatch's worker pool (0 = GOMAXPROCS).
 	Workers int
 	// Tracer, when non-nil, receives cache events (hit, miss, evict,
@@ -68,10 +81,11 @@ type SchedulerOptions struct {
 // Scheduler is a caching, batch-capable front door to the schedulers. Safe
 // for concurrent use. The zero value is not useful; use NewScheduler.
 type Scheduler struct {
-	cache   *memo.Cache // nil when caching is disabled
-	workers int
-	budget  Budget
-	tracer  Tracer
+	cache     *memo.Cache     // nil when caching is disabled
+	stepCache *core.StepCache // nil when step caching is disabled
+	workers   int
+	budget    Budget
+	tracer    Tracer
 }
 
 // NewScheduler builds a Scheduler from opt.
@@ -80,8 +94,18 @@ func NewScheduler(opt SchedulerOptions) *Scheduler {
 	if opt.CacheCapacity >= 0 {
 		s.cache = memo.New(memo.Config{
 			Capacity: opt.CacheCapacity,
+			MaxBytes: opt.CacheMaxBytes,
 			Shards:   opt.CacheShards,
 			Tracer:   opt.Tracer,
+		})
+	}
+	if opt.StepCacheCapacity >= 0 {
+		// One step cache shared by every batch worker: fragments are
+		// immutable once stored and each worker replays into its own
+		// pooled Step scratch.
+		s.stepCache = core.NewStepCache(core.StepCacheConfig{
+			Capacity: opt.StepCacheCapacity,
+			MaxBytes: opt.StepCacheMaxBytes,
 		})
 	}
 	return s
@@ -94,6 +118,15 @@ func (sc *Scheduler) CacheCounters() CacheCounters {
 		return CacheCounters{}
 	}
 	return sc.cache.Counters()
+}
+
+// StepCacheCounters returns the structural step cache's activity counters
+// (all zero when step caching is disabled).
+func (sc *Scheduler) StepCacheCounters() CacheCounters {
+	if sc.stepCache == nil {
+		return CacheCounters{}
+	}
+	return sc.stepCache.Counters()
 }
 
 // scheduleBlockFused is ScheduleBlock with both passes sharing one rank
@@ -176,7 +209,7 @@ func (sc *Scheduler) ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine)
 	defer observeRequest(mReqTraceNS, time.Now())
 	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
-		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs})
+		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs, StepCache: sc.stepCache})
 		if err == nil {
 			return r, nil
 		}
@@ -186,7 +219,7 @@ func (sc *Scheduler) ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine)
 		return nil, err
 	}
 	v, _, err := sc.cache.DoCtx(ctx, memo.KeyFor(g, m, memo.KindTrace), func() (any, error) {
-		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs})
+		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs, StepCache: sc.stepCache})
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,11 @@
 //	          with its emit lag; then compare the streamed makespan against
 //	          batch ScheduleTrace.
 //
+// Program and stream modes run with the structural step cache on by default
+// (-stepcache=off disables it, -stepcache-size bounds its fragment count);
+// repeated block shapes replay memoized merge/chop steps, and the hit/miss
+// counters are reported after the run. Results are bit-identical either way.
+//
 // Observability:
 //
 //	-trace out.json — write a Chrome trace-event JSON of the scheduler passes
@@ -81,20 +86,22 @@ y[i] = 0;
 
 func main() {
 	var (
-		mode     = flag.String("mode", "loop", "trace, loop, program, or stream")
-		kAhead   = flag.Int("k", 0, "stream mode: lookahead k (0 = fully online, -1 = unbounded/batch-identical)")
-		w        = flag.Int("w", 4, "lookahead window size W")
-		mdl      = flag.String("machine", "single", "single, rs6000, or wide2")
-		iters    = flag.Int("iters", 20, "loop iterations to simulate")
-		unroll   = flag.Int("unroll", 1, "loop unroll factor (loop mode)")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this file")
-		stats    = flag.Bool("stats", false, "print the observability metrics snapshot as JSON")
-		timeline = flag.Bool("timeline", false, "print a plain-text pipeline timeline")
-		bPasses  = flag.Int("budget-passes", 0, "program mode: per-trace rank-pass budget; exhausted traces degrade to the baseline list schedule (0 = unlimited)")
-		bMillis  = flag.Int("budget-ms", 0, "program mode: per-trace wall-clock budget in milliseconds (0 = unlimited)")
-		metricsF = flag.Bool("metrics", false, "print the always-on process metrics snapshot as JSON after the run")
-		dbgAddr  = flag.String("debug-addr", "", "serve /metrics, /statsz, /healthz, and /debug/pprof/* on this address (e.g. localhost:6060)")
-		version  = flag.Bool("version", false, "print build identity and exit")
+		mode      = flag.String("mode", "loop", "trace, loop, program, or stream")
+		kAhead    = flag.Int("k", 0, "stream mode: lookahead k (0 = fully online, -1 = unbounded/batch-identical)")
+		w         = flag.Int("w", 4, "lookahead window size W")
+		mdl       = flag.String("machine", "single", "single, rs6000, or wide2")
+		iters     = flag.Int("iters", 20, "loop iterations to simulate")
+		unroll    = flag.Int("unroll", 1, "loop unroll factor (loop mode)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this file")
+		stats     = flag.Bool("stats", false, "print the observability metrics snapshot as JSON")
+		timeline  = flag.Bool("timeline", false, "print a plain-text pipeline timeline")
+		bPasses   = flag.Int("budget-passes", 0, "program mode: per-trace rank-pass budget; exhausted traces degrade to the baseline list schedule (0 = unlimited)")
+		bMillis   = flag.Int("budget-ms", 0, "program mode: per-trace wall-clock budget in milliseconds (0 = unlimited)")
+		stepcache = flag.String("stepcache", "on", "structural step cache: on or off (program and stream modes)")
+		stepSize  = flag.Int("stepcache-size", 0, "step cache fragment budget (0 = default 4096)")
+		metricsF  = flag.Bool("metrics", false, "print the always-on process metrics snapshot as JSON after the run")
+		dbgAddr   = flag.String("debug-addr", "", "serve /metrics, /statsz, /healthz, and /debug/pprof/* on this address (e.g. localhost:6060)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
 
@@ -115,6 +122,17 @@ func main() {
 	if *traceOut != "" || *stats || *timeline {
 		rec = aisched.NewRecorder()
 		rec.SetMeta("build", aisched.VersionInfo().String())
+	}
+
+	// stepCap is the step-cache fragment budget threaded to both facades:
+	// -1 disables, 0 is the default size.
+	stepCap := *stepSize
+	switch *stepcache {
+	case "on":
+	case "off":
+		stepCap = -1
+	default:
+		fatal(fmt.Errorf("-stepcache must be on or off, got %q", *stepcache))
 	}
 
 	var m *machine.Machine
@@ -143,7 +161,7 @@ func main() {
 			WallClock:     time.Duration(*bMillis) * time.Millisecond,
 			MaxRankPasses: *bPasses,
 		}
-		runProgram(src, m, rec, budget)
+		runProgram(src, m, rec, budget, stepCap)
 	} else {
 		src := fig3Asm
 		if flag.NArg() > 0 {
@@ -166,7 +184,7 @@ func main() {
 		case "trace":
 			runTrace(blocks, m, rec)
 		case "stream":
-			runStream(blocks, m, *kAhead, rec)
+			runStream(blocks, m, *kAhead, rec, stepCap)
 		default:
 			fatal(fmt.Errorf("unknown mode %q", *mode))
 		}
@@ -302,7 +320,7 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 // then compares the streamed makespan against batch ScheduleTrace (identical
 // at k = unbounded, and usually identical well before that; EXPERIMENTS.md
 // S1 measures the gap).
-func runStream(blocks []isa.Block, m *machine.Machine, k int, rec *aisched.TraceRecorder) {
+func runStream(blocks []isa.Block, m *machine.Machine, k int, rec *aisched.TraceRecorder, stepCap int) {
 	var seqs [][]isa.Instr
 	for _, b := range blocks {
 		seqs = append(seqs, b.Instrs)
@@ -315,7 +333,7 @@ func runStream(blocks []isa.Block, m *machine.Machine, k int, rec *aisched.Trace
 	if k < 0 {
 		k = aisched.LookaheadUnbounded
 	}
-	opt := aisched.StreamOptions{Lookahead: k}
+	opt := aisched.StreamOptions{Lookahead: k, StepCacheCapacity: stepCap}
 	if rec != nil {
 		opt.Tracer = rec
 	}
@@ -355,6 +373,10 @@ func runStream(blocks []isa.Block, m *machine.Machine, k int, rec *aisched.Trace
 	}
 	fmt.Printf("\nstreamed makespan (k=%s): %d; batch ScheduleTrace: %d\n",
 		kLabel(k), streamed, batch.Makespan())
+	if scc := ss.StepCacheCounters(); scc.Hits+scc.Misses > 0 {
+		fmt.Printf("step cache: %d hits, %d misses, %d evictions\n",
+			scc.Hits, scc.Misses, scc.Evictions)
+	}
 }
 
 func kLabel(k int) string {
@@ -368,12 +390,12 @@ func kLabel(k int) string {
 // CFG, schedule every trace through aisched.ScheduleBatch (cache-integrated,
 // GOMAXPROCS workers, optional per-trace budget), and report per-trace
 // results plus cache activity.
-func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budget aisched.Budget) {
+func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budget aisched.Budget, stepCap int) {
 	c, err := aisched.CompileC(src)
 	if err != nil {
 		fatal(err)
 	}
-	opts := aisched.SchedulerOptions{Budget: budget}
+	opts := aisched.SchedulerOptions{Budget: budget, StepCacheCapacity: stepCap}
 	if rec != nil {
 		opts.Tracer = rec
 	}
@@ -404,6 +426,10 @@ func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budg
 	cc := sc.CacheCounters()
 	fmt.Printf("schedule cache: %d hits, %d misses, %d coalesced, %d evictions\n",
 		cc.Hits, cc.Misses, cc.Coalesced, cc.Evictions)
+	if scc := sc.StepCacheCounters(); scc.Hits+scc.Misses > 0 {
+		fmt.Printf("step cache: %d hits, %d misses, %d evictions\n",
+			scc.Hits, scc.Misses, scc.Evictions)
+	}
 	if degraded > 0 {
 		fmt.Printf("budget: %d of %d traces degraded to the baseline list schedule\n",
 			degraded, len(ps.Traces))

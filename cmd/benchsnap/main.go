@@ -11,8 +11,13 @@
 // JSON, or compares a fresh run against a committed snapshot and fails
 // beyond the tolerance:
 //
-//	go run ./cmd/benchsnap -o BENCH_PR7.json
-//	go run ./cmd/benchsnap -compare BENCH_PR7.json
+// PR 8 adds the repetitive-block workloads the structural step cache is
+// built for (ScheduleTraceRepetitive, StreamPushDup: a 64-block trace at
+// ~75% duplicate-block rate, batch and steady-state stream, plus their
+// step-cache-off twins for the amortized speedup lines).
+//
+//	go run ./cmd/benchsnap -o BENCH_PR8.json
+//	go run ./cmd/benchsnap -compare BENCH_PR8.json
 //
 // -cpuprofile and -memprofile write pprof profiles covering the benchmark
 // measurements, for digging into a regression the gate reports:
@@ -68,7 +73,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output file (ignored with -compare)")
+	out := flag.String("o", "BENCH_PR8.json", "output file (ignored with -compare)")
 	compare := flag.String("compare", "", "compare against this snapshot instead of writing one")
 	tol := flag.Float64("tol", 2.0, "regression budget in percent for -compare")
 	noisefloor := flag.Float64("noisefloor", 25.0, "minimum ns/op tolerance in percent (wall-clock noise on shared hardware)")
@@ -163,6 +168,20 @@ func main() {
 		}
 	}
 	streamWarm := 2 * len(sblocks)
+
+	// Repetitive-block workloads (the structural step cache's target): a
+	// 64-block trace drawn from 16 serial-chain templates (≥75% of blocks
+	// are duplicates of an earlier one). Latency chains stall the single
+	// unit, so every step chops and the carried suffix reaches a periodic
+	// steady state — the regime where merge inputs recur and the step cache
+	// replays them. The batch pair measures one whole-trace call (fresh
+	// Scheduler per op, the cache warming over the trace's own blocks); the
+	// stream pair measures one steady-state k=1 push on the unending
+	// repetition of the same trace.
+	repSeq, repG := repetitiveTrace()
+	dupLong := repetitiveStream(repSeq, 8)
+	dupWarm := 2 * len(repSeq)
+
 	runBatch := func(b *testing.B, items []aisched.BatchItem) {
 		for i := 0; i < b.N; i++ {
 			sc := aisched.NewScheduler(aisched.SchedulerOptions{})
@@ -236,6 +255,41 @@ func main() {
 				i++
 			}
 		}},
+		// The repetitive batch pair shares one Scheduler across ops (one
+		// warm-up call before the timer): a long-running scheduler keeps its
+		// step cache across requests, so this is the amortized regime the
+		// cache targets. The whole-trace memo is disabled on both sides so
+		// every op really walks the per-block loop.
+		{"ScheduleTraceRepetitive", func(b *testing.B) {
+			sc := aisched.NewScheduler(aisched.SchedulerOptions{CacheCapacity: -1})
+			if _, err := sc.ScheduleTrace(repG, m); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.ScheduleTrace(repG, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ScheduleTraceRepetitiveOff", func(b *testing.B) {
+			sc := aisched.NewScheduler(aisched.SchedulerOptions{CacheCapacity: -1, StepCacheCapacity: -1})
+			if _, err := sc.ScheduleTrace(repG, m); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.ScheduleTrace(repG, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"StreamPushDup", func(b *testing.B) {
+			benchStreamSteady(b, m, aisched.StreamOptions{Lookahead: 1}, dupLong, dupWarm)
+		}},
+		{"StreamPushDupOff", func(b *testing.B) {
+			benchStreamSteady(b, m, aisched.StreamOptions{Lookahead: 1, StepCacheCapacity: -1}, dupLong, dupWarm)
+		}},
 		{"StreamFirstResult", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ss := aisched.NewStreamScheduler(m, aisched.StreamOptions{})
@@ -297,6 +351,15 @@ func main() {
 	if fr, st := snap.Benchmarks["StreamFirstResult"], snap.Benchmarks["ScheduleTrace"]; fr.NsPerOp > 0 {
 		fmt.Printf("time-to-first-schedule: stream %d ns vs batch %d ns (%.1fx)\n",
 			fr.NsPerOp, st.NsPerOp, float64(st.NsPerOp)/float64(fr.NsPerOp))
+	}
+	if on, off := snap.Benchmarks["ScheduleTraceRepetitive"], snap.Benchmarks["ScheduleTraceRepetitiveOff"]; on.NsPerOp > 0 {
+		fmt.Printf("step cache at ~75%% dup (batch, amortized): %d -> %d ns/block (%.1fx)\n",
+			off.NsPerOp/int64(len(repSeq)), on.NsPerOp/int64(len(repSeq)),
+			float64(off.NsPerOp)/float64(on.NsPerOp))
+	}
+	if on, off := snap.Benchmarks["StreamPushDup"], snap.Benchmarks["StreamPushDupOff"]; on.NsPerOp > 0 {
+		fmt.Printf("step cache at ~75%% dup (stream, per push): %d -> %d ns/op (%.1fx)\n",
+			off.NsPerOp, on.NsPerOp, float64(off.NsPerOp)/float64(on.NsPerOp))
 	}
 
 	if *compare != "" {
@@ -448,6 +511,114 @@ func rebuild(g *graph.Graph, r *rand.Rand) *graph.Graph {
 		h.MustEdge(es[i].Src, es[i].Dst, es[i].Latency, es[i].Distance)
 	}
 	return h
+}
+
+// repetitiveTrace builds the repetitive-block workload: 64 blocks drawn from
+// 16 serial-chain templates (chain length 5-7, per-edge latency 1-2), as a
+// whole-trace graph plus the template index sequence for the stream twin.
+// With 16 templates over 64 blocks at least 75% of blocks duplicate an
+// earlier one's structure.
+func repetitiveTrace() ([]int, *graph.Graph) {
+	r := rand.New(rand.NewSource(5))
+	type tmpl struct{ lat []int } // chain of len(lat)+1 nodes
+	tmpls := make([]tmpl, 16)
+	for i := range tmpls {
+		lat := make([]int, 4+r.Intn(3))
+		for j := range lat {
+			lat[j] = 1 + r.Intn(2)
+		}
+		tmpls[i] = tmpl{lat: lat}
+	}
+	seq := make([]int, batchN)
+	for i := range seq {
+		seq[i] = r.Intn(len(tmpls))
+	}
+	total := 0
+	for _, ti := range seq {
+		total += len(tmpls[ti].lat) + 1
+	}
+	g := graph.New(total)
+	id := 0
+	for b, ti := range seq {
+		tm := tmpls[ti]
+		base := id
+		for i := 0; i <= len(tm.lat); i++ {
+			g.AddNode(fmt.Sprintf("r%d_%d", b, i), 1, 0, b)
+			id++
+		}
+		for i, l := range tm.lat {
+			g.MustEdge(graph.NodeID(base+i), graph.NodeID(base+i+1), l, 0)
+		}
+	}
+	return seq, g
+}
+
+// repetitiveStream unrolls the repetitive trace into an unending stream:
+// cycles repetitions of the template sequence with stream IDs rebased per
+// block, mirroring streamLong's construction.
+func repetitiveStream(seq []int, cycles int) []aisched.StreamBlock {
+	// Rebuild the template latency chains deterministically (same seed as
+	// repetitiveTrace) so both twins describe identical block structures.
+	r := rand.New(rand.NewSource(5))
+	lats := make([][]int, 16)
+	for i := range lats {
+		lat := make([]int, 4+r.Intn(3))
+		for j := range lat {
+			lat[j] = 1 + r.Intn(2)
+		}
+		lats[i] = lat
+	}
+	var long []aisched.StreamBlock
+	id := 0
+	for c := 0; c < cycles; c++ {
+		for _, ti := range seq {
+			lat := lats[ti]
+			n := len(lat) + 1
+			nodes := make([]aisched.StreamNode, n)
+			for i := range nodes {
+				nodes[i] = aisched.StreamNode{Label: "r", Exec: 1, Class: 0}
+			}
+			deps := make([]aisched.StreamDep, len(lat))
+			for i, l := range lat {
+				deps[i] = aisched.StreamDep{
+					Src: graph.NodeID(id + i), Dst: graph.NodeID(id + i + 1), Latency: l,
+				}
+			}
+			long = append(long, aisched.StreamBlock{Nodes: nodes, Deps: deps})
+			id += n
+		}
+	}
+	return long
+}
+
+// benchStreamSteady measures one steady-state push on an unending stream,
+// re-warming a fresh scheduler whenever the prepared stream runs out (the
+// StreamPush pattern).
+func benchStreamSteady(b *testing.B, m *machine.Machine, opt aisched.StreamOptions, long []aisched.StreamBlock, warm int) {
+	newWarm := func() *aisched.StreamScheduler {
+		ss := aisched.NewStreamScheduler(m, opt)
+		for _, blk := range long[:warm] {
+			if _, err := ss.Push(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ss
+	}
+	ss := newWarm()
+	i := warm
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == len(long) {
+			b.StopTimer()
+			ss = newWarm()
+			i = warm
+			b.StartTimer()
+		}
+		if _, err := ss.Push(long[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
 }
 
 func fatal(err error) {

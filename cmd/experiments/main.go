@@ -54,6 +54,7 @@ func main() {
 		{"A2", def(experiments.A2, 20)},
 		{"R1", def(experiments.R1, 50)},
 		{"S1", def(experiments.S1, 30)},
+		{"C1", def(experiments.C1, 1)},
 		{"O1", experiments.O1},
 		{"O2", experiments.O2},
 	}

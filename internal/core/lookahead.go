@@ -129,6 +129,13 @@ type Options struct {
 	// checkpoint's error (context cancellation or sbudget.ErrExhausted)
 	// instead of a result.
 	Budget *sbudget.State
+	// StepCache, when non-nil, memoizes whole merge + delay + chop iterations
+	// keyed by structural fingerprints and replays hits as relocatable
+	// fragments (see stepcache.go). It engages only on canonical-layout
+	// iterations — no custom Tie, every carried ID below every new ID (always
+	// true for block-grouped traces) — and is bypassed transparently
+	// otherwise. Results are bit-identical with and without it.
+	StepCache *StepCache
 }
 
 // Result is the output of Algorithm Lookahead.
@@ -163,6 +170,19 @@ func (r *Result) Clone() *Result {
 		c.BlockOrders[b] = append([]graph.NodeID(nil), o...)
 	}
 	return c
+}
+
+// ApproxBytes reports the result's approximate resident footprint for the
+// memo layer's byte-bounded LRU (memo.Sizer).
+func (r *Result) ApproxBytes() int {
+	n := 96 + 8*len(r.Order) + 48*len(r.BlockOrders)
+	for _, o := range r.BlockOrders {
+		n += 8 * len(o)
+	}
+	if r.S != nil {
+		n += r.S.ApproxBytes()
+	}
+	return n
 }
 
 // StaticOrder returns the emitted code: the per-block static orders
@@ -267,6 +287,12 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	gview := csr.View()
 	oldMakespan := 0
 	plusOrder := scratch.plusOrder[:0] // S+ of the most recent iteration, original IDs
+	// Step-cache canonical-layout gate: caching requires the carried suffix
+	// to occupy the view's ID prefix, i.e. every carried original ID below
+	// every new one, and the identity tie-break. maxOld tracks the largest
+	// carried ID so the check is O(1) per block.
+	canonTie := opt.Tie == nil
+	maxOld := graph.NodeID(-1)
 	// Stitched absolute schedule: frames advance by each chop's base.
 	timeBase := 0
 	absStart := scratch.absStart[:n]
@@ -326,7 +352,8 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 			Block: b, SkipDelay: opt.SkipDelay,
 			Tracer: tr, Budget: opt.Budget,
 		}
-		out, err := scratch.step.Run(&scratch.stepIn)
+		canon := canonTie && (len(oldIDs) == 0 || maxOld < newIDs[0])
+		out, err := scratch.step.RunMemo(&scratch.stepIn, opt.StepCache, canon)
 		if err != nil {
 			return nil, err
 		}
@@ -349,9 +376,13 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 		}
 		oldIDs = oldIDs[:0]
 		plusOrder = plusOrder[:0]
+		maxOld = graph.NodeID(-1)
 		for _, si := range out.Plus {
 			oi := ids[si]
 			oldIDs = append(oldIDs, oi)
+			if oi > maxOld {
+				maxOld = oi
+			}
 			dOld[oi] = d[si] - out.Base
 			fOld[oi] = s.Finish(si) - out.Base
 			plusOrder = append(plusOrder, oi)

@@ -37,6 +37,17 @@ type Step struct {
 	wStatic []graph.NodeID
 	wByTime []graph.NodeID
 	wPos    []int
+
+	// Step-cache state (stepcache.go): the carried suffix fingerprint, the
+	// key hasher, and the replay scratch a cache hit materializes into.
+	suffFP    graph.Hash128
+	suffOK    bool
+	keyH      graph.Hasher
+	memoS     sched.Schedule
+	memoD     []int
+	memoMinus []graph.NodeID
+	memoPlus  []graph.NodeID
+	plusMask  []bool
 }
 
 // StepIn is one merge iteration's input. IsOld, DOld and FOld are indexed by
@@ -74,7 +85,9 @@ type StepIn struct {
 }
 
 // StepOut is one merge iteration's output. D, Minus and Plus alias the
-// Step's scratch and are valid until the next Run; S is freshly allocated.
+// Step's scratch and are valid until the next Run; S is freshly allocated by
+// Run, but a RunMemo cache hit returns the Step's reusable replay schedule —
+// treat S under the same until-next-Run lifetime as the other fields.
 type StepOut struct {
 	// S is the merged, delayed schedule of the whole view.
 	S *sched.Schedule
@@ -83,7 +96,7 @@ type StepOut struct {
 	// Minus is the committed prefix and Plus the carried suffix, both in
 	// schedule-permutation order; Base is the chop time base.
 	Minus, Plus []graph.NodeID
-	Base int
+	Base        int
 	// Repaired reports that the deadline-pinned re-merge replaced an
 	// unrealizable first merge (see windowRealizable).
 	Repaired bool

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// dupBlockTrace builds a trace whose blocks are instantiated from a small
+// pool of structural templates — the repetitive-workload shape the step
+// cache exists for. pCross adds occasional cross-block edges (they change
+// merge inputs and so legitimately reduce hits, but must never change
+// results).
+func dupBlockTrace(r *rand.Rand, nblocks, nodesPer, classes, maxLat, nTemplates int, pCross float64) *graph.Graph {
+	type tmplEdge struct{ i, j, lat int }
+	type tmpl struct {
+		exec, class []int
+		edges       []tmplEdge
+	}
+	tmpls := make([]tmpl, nTemplates)
+	for t := range tmpls {
+		tm := tmpl{exec: make([]int, nodesPer), class: make([]int, nodesPer)}
+		for i := 0; i < nodesPer; i++ {
+			tm.exec[i] = 1 + r.Intn(2)
+			tm.class[i] = r.Intn(classes)
+		}
+		for i := 0; i < nodesPer; i++ {
+			for j := i + 1; j < nodesPer; j++ {
+				if r.Float64() < 0.35 {
+					tm.edges = append(tm.edges, tmplEdge{i, j, r.Intn(maxLat + 1)})
+				}
+			}
+		}
+		tmpls[t] = tm
+	}
+	g := graph.New(nblocks * nodesPer)
+	for b := 0; b < nblocks; b++ {
+		tm := tmpls[r.Intn(nTemplates)]
+		base := graph.NodeID(b * nodesPer)
+		for i := 0; i < nodesPer; i++ {
+			g.AddNode(fmt.Sprintf("b%d_%d", b, i), tm.exec[i], tm.class[i], b)
+		}
+		for _, e := range tm.edges {
+			g.MustEdge(base+graph.NodeID(e.i), base+graph.NodeID(e.j), e.lat, 0)
+		}
+		if b > 0 && r.Float64() < pCross {
+			g.MustEdge(base-1, base, r.Intn(maxLat+1), 0)
+		}
+	}
+	return g
+}
+
+func sameResult(t *testing.T, tag string, got, want *Result) {
+	t.Helper()
+	if fmt.Sprint(got.Order) != fmt.Sprint(want.Order) {
+		t.Fatalf("%s: orders differ\n got %v\n want %v", tag, got.Order, want.Order)
+	}
+	for v := range want.S.Start {
+		if got.S.Start[v] != want.S.Start[v] || got.S.Unit[v] != want.S.Unit[v] {
+			t.Fatalf("%s: schedule differs at node %d: (%d,%d) vs (%d,%d)",
+				tag, v, got.S.Start[v], got.S.Unit[v], want.S.Start[v], want.S.Unit[v])
+		}
+	}
+	if len(got.BlockOrders) != len(want.BlockOrders) {
+		t.Fatalf("%s: block count %d vs %d", tag, len(got.BlockOrders), len(want.BlockOrders))
+	}
+	for b, o := range want.BlockOrders {
+		if fmt.Sprint(got.BlockOrders[b]) != fmt.Sprint(o) {
+			t.Fatalf("%s: block %d orders differ\n got %v\n want %v", tag, b, got.BlockOrders[b], o)
+		}
+	}
+}
+
+// TestStepCacheDifferential is the tentpole guarantee: with the step cache
+// enabled — cold and warm, shared across traces — batch results are
+// bit-identical to the uncached driver, across machines, classes, mixed
+// latencies (release-floor regime) and duplicate-block densities.
+func TestStepCacheDifferential(t *testing.T) {
+	machines := []*machine.Machine{
+		machine.SingleUnit(4),
+		machine.SingleUnit(2),
+		machine.RS6000(4),
+		machine.Superscalar(2, 4),
+	}
+	sc := NewStepCache(StepCacheConfig{})
+	for seed := int64(0); seed < 48; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := machines[seed%int64(len(machines))]
+		classes := 1
+		if m.Name == "rs6000" || seed%3 == 0 {
+			classes = len(m.Units)
+		}
+		maxLat := int(seed % 3) // 0/1 restricted through mixed-latency §4.2
+		g := dupBlockTrace(r, 2+r.Intn(10), 2+r.Intn(5), classes, maxLat,
+			1+r.Intn(3), float64(seed%4)*0.25)
+		opt := Options{SkipDelay: seed%7 == 6}
+
+		want, err := LookaheadOpts(g, m, opt)
+		if err != nil {
+			t.Fatalf("seed %d: uncached: %v", seed, err)
+		}
+		opt.StepCache = sc
+		for pass := 0; pass < 2; pass++ { // cold then warm
+			got, err := LookaheadOpts(g, m, opt)
+			if err != nil {
+				t.Fatalf("seed %d pass %d: cached: %v", seed, pass, err)
+			}
+			sameResult(t, fmt.Sprintf("seed %d pass %d (%s)", seed, pass, m.Name), got, want)
+		}
+	}
+	c := sc.Counters()
+	if c.Hits == 0 {
+		t.Fatalf("differential sweep produced no cache hits (misses=%d)", c.Misses)
+	}
+	if c.Bytes <= 0 {
+		t.Fatalf("resident-bytes gauge not accounted: %d", c.Bytes)
+	}
+}
+
+// chainTrace builds a trace of identical serial latency chains: each block
+// stalls the pipeline, so Delay_Idle_Slots and Chop fire every step and the
+// carried suffix reaches a periodic steady state — the canonical hit shape.
+// (A dense dup trace with no idle slots never chops: the suffix grows every
+// step and every key is legitimately unique.)
+func chainTrace(nblocks, nodesPer, lat int) *graph.Graph {
+	g := graph.New(nblocks * nodesPer)
+	for b := 0; b < nblocks; b++ {
+		base := graph.NodeID(b * nodesPer)
+		for i := 0; i < nodesPer; i++ {
+			g.AddNode(fmt.Sprintf("b%d_%d", b, i), 1, 0, b)
+		}
+		for i := 0; i < nodesPer-1; i++ {
+			g.MustEdge(base+graph.NodeID(i), base+graph.NodeID(i+1), lat, 0)
+		}
+	}
+	return g
+}
+
+// TestStepCacheHitsOnDuplicateBlocks pins the intended hit pattern: a trace
+// of identical blocks warms on the first few steps and replays the rest from
+// the cache.
+func TestStepCacheHitsOnDuplicateBlocks(t *testing.T) {
+	g := chainTrace(40, 5, 2)
+	m := machine.SingleUnit(4)
+	sc := NewStepCache(StepCacheConfig{})
+	want, err := LookaheadOpts(g, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LookaheadOpts(g, m, Options{StepCache: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "dup40", got, want)
+	c := sc.Counters()
+	if c.Hits < 30 {
+		t.Fatalf("expected ≥30 hits on 40 identical blocks, got hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+// TestStepCacheNonCanonicalBypass: interleaved block numbering breaks the
+// canonical-layout precondition; the driver must bypass the cache (no wrong
+// reuse, identical results) and recover coverage afterwards.
+func TestStepCacheNonCanonicalBypass(t *testing.T) {
+	// Blocks assigned round-robin: block of node i = i%3 — new IDs below
+	// carried IDs on every iteration after the first.
+	g := graph.New(12)
+	for i := 0; i < 12; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 1, 0, i%3)
+	}
+	for i := 0; i < 11; i++ {
+		if i%2 == 0 {
+			g.MustEdge(graph.NodeID(i), graph.NodeID(i+1), 1, 0)
+		}
+	}
+	m := machine.SingleUnit(3)
+	want, err := LookaheadOpts(g, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStepCache(StepCacheConfig{})
+	got, err := LookaheadOpts(g, m, Options{StepCache: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "noncanon", got, want)
+}
+
+// TestStepCacheCustomTieBypass: a custom tie order must bypass the cache and
+// still reproduce the paper-exact result.
+func TestStepCacheCustomTieBypass(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := dupBlockTrace(r, 6, 4, 1, 1, 1, 0)
+	tie := make([]graph.NodeID, g.Len())
+	for i := range tie {
+		tie[i] = graph.NodeID(g.Len() - 1 - i)
+	}
+	m := machine.SingleUnit(3)
+	want, err := LookaheadOpts(g, m, Options{Tie: tie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStepCache(StepCacheConfig{})
+	got, err := LookaheadOpts(g, m, Options{Tie: tie, StepCache: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "tie", got, want)
+	if c := sc.Counters(); c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("custom-tie run touched the cache: %+v", c)
+	}
+}

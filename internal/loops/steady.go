@@ -119,6 +119,16 @@ func (st *Steady) Clone() *Steady {
 	}
 }
 
+// ApproxBytes reports the steady state's approximate resident footprint for
+// the memo layer's byte-bounded LRU (memo.Sizer).
+func (st *Steady) ApproxBytes() int {
+	n := 64 + 8*len(st.Order)
+	if st.S != nil {
+		n += st.S.ApproxBytes()
+	}
+	return n
+}
+
 // CompletionN returns the completion time of n iterations under the
 // periodic model: makespan + (n−1)·II.
 func (st *Steady) CompletionN(n int) int {

@@ -39,18 +39,41 @@ import (
 	"aisched/internal/sbudget"
 )
 
-// Live process-wide counters (internal/metrics). Unlike the per-Cache
-// Counters snapshot and the obs events — which exist per Scheduler / per
-// run — these aggregate every cache in the process and are always on: one
-// striped atomic add per lookup, consumed by aisched.MetricsSnapshot and
-// the /metrics endpoint.
-var (
-	mHits       = metrics.Default.NewCounter("aisched_memo_hits_total", "schedule-cache lookups served from a memoized result")
-	mMisses     = metrics.Default.NewCounter("aisched_memo_misses_total", "schedule-cache lookups that computed and stored a result")
-	mEvictions  = metrics.Default.NewCounter("aisched_memo_evictions_total", "schedule-cache LRU evictions")
-	mCoalesced  = metrics.Default.NewCounter("aisched_memo_coalesced_total", "schedule-cache lookups coalesced onto an in-flight computation")
-	mRecomputed = metrics.Default.NewCounter("aisched_memo_recomputed_total", "coalesced waiters that recomputed after an in-flight leader failed with a personal error")
-)
+// MetricSet is one family of always-on cache instruments (internal/metrics).
+// Unlike the per-Cache Counters snapshot and the obs events — which exist per
+// Scheduler / per run — a MetricSet aggregates every cache wired to it in the
+// process: one striped atomic add per lookup, consumed by
+// aisched.MetricsSnapshot and the /metrics endpoint. Two sets exist: the
+// whole-result schedule cache (Do/DoCtx) and the per-block step cache
+// (Get/Put, internal/core), so the two planes never blur in dashboards.
+type MetricSet struct {
+	hits, misses, evictions, coalesced, recomputed *metrics.Counter
+	bytes                                          *metrics.Gauge
+}
+
+// ScheduleMetrics instruments the whole-result schedule caches. The bytes
+// gauge counts approximate resident value bytes across live caches; a cache
+// dropped without eviction keeps its last contribution (caches are normally
+// process-lifetime).
+var ScheduleMetrics = &MetricSet{
+	hits:       metrics.Default.NewCounter("aisched_memo_hits_total", "schedule-cache lookups served from a memoized result"),
+	misses:     metrics.Default.NewCounter("aisched_memo_misses_total", "schedule-cache lookups that computed and stored a result"),
+	evictions:  metrics.Default.NewCounter("aisched_memo_evictions_total", "schedule-cache LRU evictions"),
+	coalesced:  metrics.Default.NewCounter("aisched_memo_coalesced_total", "schedule-cache lookups coalesced onto an in-flight computation"),
+	recomputed: metrics.Default.NewCounter("aisched_memo_recomputed_total", "coalesced waiters that recomputed after an in-flight leader failed with a personal error"),
+	bytes:      metrics.Default.NewGauge("aisched_memo_resident_bytes", "approximate resident bytes of memoized schedule results"),
+}
+
+// StepMetrics instruments the per-block step caches (internal/core): the hit
+// and relocation path of the fragment replay plane.
+var StepMetrics = &MetricSet{
+	hits:       metrics.Default.NewCounter("aisched_stepcache_hits_total", "step-cache lookups served by fragment replay"),
+	misses:     metrics.Default.NewCounter("aisched_stepcache_misses_total", "step-cache lookups that ran the full merge step"),
+	evictions:  metrics.Default.NewCounter("aisched_stepcache_evictions_total", "step-cache LRU evictions"),
+	coalesced:  metrics.Default.NewCounter("aisched_stepcache_coalesced_total", "step-cache lookups coalesced onto an in-flight computation (unused: the step cache is Get/Put)"),
+	recomputed: metrics.Default.NewCounter("aisched_stepcache_recomputed_total", "step-cache coalesced recomputes (unused: the step cache is Get/Put)"),
+	bytes:      metrics.Default.NewGauge("aisched_stepcache_resident_bytes", "approximate resident bytes of cached step fragments"),
+}
 
 // Kind discriminates the result type cached under a fingerprint, so a block
 // schedule and a trace result for the same graph never alias.
@@ -63,6 +86,11 @@ const (
 	KindTrace
 	// KindLoop caches §5 steady-state loop schedules.
 	KindLoop
+	// KindStep caches one core.Step merge/delay/chop iteration as a
+	// relocatable fragment. Step keys are built with graph.Hasher (128-bit
+	// non-cryptographic) rather than Fingerprint; the key's hash fills the
+	// fingerprint's first 16 bytes and the rest stay zero.
+	KindStep
 )
 
 // Key is the cache key: the instance fingerprint plus the result kind.
@@ -84,16 +112,43 @@ type Config struct {
 	// It is split evenly per shard, so the effective bound is approximate:
 	// a pathological key distribution can evict earlier on a hot shard.
 	Capacity int
+	// MaxBytes bounds the approximate resident bytes of cached values across
+	// all shards (default 64 MiB, split evenly per shard; negative disables
+	// the byte bound). Entry count alone is a poor bound when values vary
+	// widely in size — a step fragment for a 6-node block and one for a
+	// 200-node suffix differ by 30× — so eviction applies whichever bound
+	// trips first. Values that implement Sizer report their own footprint;
+	// others are charged a fixed conservative estimate.
+	MaxBytes int
 	// Shards is the number of lock shards, rounded up to a power of two and
 	// clamped to at least 16.
 	Shards int
 	// Tracer, when non-nil, receives KindCacheHit / KindCacheMiss /
 	// KindCacheEvict / KindCacheCoalesce events for the metrics snapshot.
 	Tracer obs.Tracer
+	// Metrics selects the always-on instrument family this cache feeds
+	// (nil = ScheduleMetrics).
+	Metrics *MetricSet
+}
+
+// Sizer lets a cached value report its approximate resident footprint in
+// bytes for the MaxBytes bound. The estimate should cover the value's
+// backing arrays; exactness is not required — the bound itself is
+// approximate (per-shard split, map overhead estimated).
+type Sizer interface {
+	ApproxBytes() int
 }
 
 // DefaultCapacity is the entry budget used when Config.Capacity is zero.
 const DefaultCapacity = 4096
+
+// DefaultMaxBytes is the resident-byte budget used when Config.MaxBytes is
+// zero.
+const DefaultMaxBytes = 64 << 20
+
+// entryOverhead is the charged per-entry bookkeeping estimate: the entry
+// struct, its map bucket share, and the key copy.
+const entryOverhead = 176
 
 const minShards = 16
 
@@ -104,6 +159,9 @@ type Counters struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Coalesced uint64 `json:"coalesced"`
+	// Bytes is the approximate resident footprint of cached values (a
+	// point-in-time gauge, not a counter).
+	Bytes int64 `json:"bytes"`
 	// Recomputed counts coalesced waiters whose in-flight leader failed
 	// with an error personal to the leader (its context was cancelled or
 	// its budget ran out) and who therefore ran their own compute instead
@@ -116,7 +174,16 @@ type Counters struct {
 type entry struct {
 	key        Key
 	val        any
+	bytes      int
 	prev, next *entry
+}
+
+// valBytes charges v's approximate resident footprint.
+func valBytes(v any) int {
+	if s, ok := v.(Sizer); ok {
+		return entryOverhead + s.ApproxBytes()
+	}
+	return entryOverhead
 }
 
 // flight is one in-progress computation; waiters block on done.
@@ -129,6 +196,8 @@ type flight struct {
 type shard struct {
 	mu       sync.Mutex
 	capacity int
+	byteCap  int // ≤0 means unbounded
+	bytes    int
 	entries  map[Key]*entry
 	lru      entry // sentinel: lru.next is MRU, lru.prev is LRU
 	inflight map[Key]*flight
@@ -142,6 +211,7 @@ type Cache struct {
 	shards []shard
 	mask   uint64
 	tracer obs.Tracer
+	met    *MetricSet
 }
 
 // New builds a cache from cfg (zero-value fields take defaults).
@@ -149,6 +219,10 @@ func New(cfg Config) *Cache {
 	capTotal := cfg.Capacity
 	if capTotal <= 0 {
 		capTotal = DefaultCapacity
+	}
+	byteTotal := cfg.MaxBytes
+	if byteTotal == 0 {
+		byteTotal = DefaultMaxBytes
 	}
 	n := cfg.Shards
 	if n < minShards {
@@ -163,10 +237,19 @@ func New(cfg Config) *Cache {
 	if perShard < 1 {
 		perShard = 1
 	}
-	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1), tracer: cfg.Tracer}
+	bytesPerShard := 0
+	if byteTotal > 0 {
+		bytesPerShard = (byteTotal + n - 1) / n
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = ScheduleMetrics
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1), tracer: cfg.Tracer, met: met}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.capacity = perShard
+		s.byteCap = bytesPerShard
 		s.entries = make(map[Key]*entry)
 		s.inflight = make(map[Key]*flight)
 		s.lru.next = &s.lru
@@ -218,14 +301,14 @@ func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (
 		e.pushMRU(&s.lru)
 		s.hits++
 		s.mu.Unlock()
-		mHits.Inc()
+		c.met.hits.Inc()
 		c.emit(obs.KindCacheHit)
 		return e.val, true, nil
 	}
 	if f, ok := s.inflight[k]; ok {
 		s.coalesced++
 		s.mu.Unlock()
-		mCoalesced.Inc()
+		c.met.coalesced.Inc()
 		c.emit(obs.KindCacheCoalesce)
 		select {
 		case <-f.done:
@@ -246,7 +329,7 @@ func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (
 		s.mu.Lock()
 		s.recomputed++
 		s.mu.Unlock()
-		mRecomputed.Inc()
+		c.met.recomputed.Inc()
 		v, err := runCompute(compute)
 		if err != nil {
 			return nil, false, err
@@ -258,7 +341,7 @@ func (c *Cache) DoCtx(ctx context.Context, k Key, compute func() (any, error)) (
 	s.inflight[k] = f
 	s.misses++
 	s.mu.Unlock()
-	mMisses.Inc()
+	c.met.misses.Inc()
 	c.emit(obs.KindCacheMiss)
 
 	f.val, f.err = runCompute(compute)
@@ -295,34 +378,77 @@ func runCompute(compute func() (any, error)) (v any, err error) {
 }
 
 // store inserts v under k (refreshing the entry if a concurrent recompute
-// beat us to it) and applies the LRU bound, emitting eviction events.
+// beat us to it) and applies both LRU bounds — entry count and approximate
+// resident bytes — emitting eviction events. The just-inserted entry is never
+// its own victim: a value larger than a whole shard's byte budget still
+// caches (as the shard's only resident), it just evicts everything else.
 func (c *Cache) store(s *shard, k Key, v any) {
+	nb := valBytes(v)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
+		delta := nb - e.bytes
 		e.val = v
+		e.bytes = nb
+		s.bytes += delta
 		e.unlink()
 		e.pushMRU(&s.lru)
 		s.mu.Unlock()
+		c.met.bytes.Add(int64(delta))
 		return
 	}
-	e := &entry{key: k, val: v}
+	e := &entry{key: k, val: v, bytes: nb}
 	s.entries[k] = e
+	s.bytes += nb
 	e.pushMRU(&s.lru)
-	evicted := 0
-	for len(s.entries) > s.capacity {
+	evicted, freed := 0, 0
+	for (len(s.entries) > s.capacity || (s.byteCap > 0 && s.bytes > s.byteCap)) &&
+		len(s.entries) > 1 {
 		victim := s.lru.prev
 		victim.unlink()
 		delete(s.entries, victim.key)
+		s.bytes -= victim.bytes
+		freed += victim.bytes
 		s.evictions++
 		evicted++
 	}
 	s.mu.Unlock()
+	c.met.bytes.Add(int64(nb - freed))
 	if evicted > 0 {
-		mEvictions.Add(uint64(evicted))
+		c.met.evictions.Add(uint64(evicted))
 	}
 	for i := 0; i < evicted; i++ {
 		c.emit(obs.KindCacheEvict)
 	}
+}
+
+// Get returns the cached value for k without singleflight coordination — the
+// direct lookup the step cache's replay path uses: one shard lock, no
+// closure, no channel, no allocation. A miss returns (nil, false) and counts
+// toward Misses; the caller computes and Puts.
+func (c *Cache) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		e.unlink()
+		e.pushMRU(&s.lru)
+		s.hits++
+		s.mu.Unlock()
+		c.met.hits.Inc()
+		c.emit(obs.KindCacheHit)
+		return e.val, true
+	}
+	s.misses++
+	s.mu.Unlock()
+	c.met.misses.Inc()
+	c.emit(obs.KindCacheMiss)
+	return nil, false
+}
+
+// Put stores v under k, refreshing an existing entry and applying both LRU
+// bounds. Concurrent Puts of the same key are safe (last writer's value
+// stays resident); values must be immutable once stored.
+func (c *Cache) Put(k Key, v any) {
+	c.store(c.shardFor(k), k, v)
 }
 
 // Len returns the number of resident entries across all shards.
@@ -348,9 +474,41 @@ func (c *Cache) Counters() Counters {
 		t.Evictions += s.evictions
 		t.Coalesced += s.coalesced
 		t.Recomputed += s.recomputed
+		t.Bytes += int64(s.bytes)
 		s.mu.Unlock()
 	}
 	return t
+}
+
+// Bytes reports the approximate resident value bytes across all shards.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int64(s.bytes)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Release drops every resident entry and returns their bytes to the metric
+// gauge. Callers with a bounded lifetime (e.g. a closed StreamScheduler)
+// release so the process-wide resident-bytes gauge tracks live caches only.
+// Dropped entries do not count as evictions. The cache remains usable.
+func (c *Cache) Release() {
+	var freed int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		freed += int64(s.bytes)
+		s.bytes = 0
+		clear(s.entries)
+		s.lru.next = &s.lru
+		s.lru.prev = &s.lru
+		s.mu.Unlock()
+	}
+	c.met.bytes.Add(-freed)
 }
 
 func (e *entry) unlink() {

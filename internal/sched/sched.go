@@ -67,6 +67,29 @@ func (s *Schedule) Clone() *Schedule {
 	return c
 }
 
+// ApproxBytes reports the schedule's approximate resident footprint for the
+// memo layer's byte-bounded LRU (memo.Sizer).
+func (s *Schedule) ApproxBytes() int {
+	return 96 + 8*(len(s.Start)+len(s.Unit)) + 4*len(s.exec) + len(s.Degraded)
+}
+
+// ResetView reinitializes s in place as a view-backed schedule of n nodes on
+// m: Start and Unit are resized (contents unspecified — the caller fills
+// them), the graph pointer is cleared, and exec is aliased so Finish and
+// Makespan work without a graph. This is the step cache's replay target: one
+// reusable Schedule per Step, refilled from a fragment on every hit, valid
+// until the next reset (the same lifetime as StepOut's scratch).
+func (s *Schedule) ResetView(m *machine.Machine, n int, exec []int32) {
+	s.G, s.M = nil, m
+	s.Degraded = ""
+	if cap(s.Start) < n {
+		s.Start = make([]int, n)
+		s.Unit = make([]int, n)
+	}
+	s.Start, s.Unit = s.Start[:n], s.Unit[:n]
+	s.exec = exec
+}
+
 // Len reports the number of nodes the schedule covers.
 func (s *Schedule) Len() int { return len(s.Start) }
 

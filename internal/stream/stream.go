@@ -101,6 +101,13 @@ type Options struct {
 	// KindStreamEmit event per finalized block, and the per-merge events of
 	// core.Step (merge, loosen, pin, chop, idle-slot moves).
 	Tracer obs.Tracer
+	// StepCache, when non-nil, memoizes whole merge + delay + chop push
+	// iterations keyed by structural fingerprints (see core/stepcache.go).
+	// The stream's view layout is canonical by construction — carried suffix
+	// first in ascending stream-ID order, then the pushed block — so every
+	// push is cacheable (tracer-attached pushes bypass, to keep per-pass
+	// events). Results are bit-identical with and without it.
+	StepCache *core.StepCache
 }
 
 // blockAcc accumulates one in-flight block's emission.
@@ -116,6 +123,7 @@ type Scheduler struct {
 	m  *machine.Machine
 	k  int
 	tr obs.Tracer
+	sc *core.StepCache
 
 	step   core.Step
 	stepIn core.StepIn
@@ -190,7 +198,7 @@ func New(m *machine.Machine, opt Options) *Scheduler {
 	if k < 0 {
 		k = 0
 	}
-	return &Scheduler{m: m, k: k, tr: opt.Tracer}
+	return &Scheduler{m: m, k: k, tr: opt.Tracer, sc: opt.StepCache}
 }
 
 // SuffixLen reports the number of carried (not yet final) instructions.
@@ -253,7 +261,7 @@ func (e *Scheduler) Push(b Block, bud *sbudget.State) ([]*BlockResult, error) {
 		OldCount: nOld, OldMakespan: e.oldMakespan,
 		Block: pushIdx, Tracer: e.tr, Budget: bud,
 	}
-	out, err := e.step.Run(&e.stepIn)
+	out, err := e.step.RunMemo(&e.stepIn, e.sc, true)
 	if err != nil {
 		if reason := sbudget.Reason(err); reason != "" {
 			return e.degrade(reason)

@@ -17,6 +17,7 @@ go test -race ./...
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzScheduleBlock$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzScheduleTrace$' -fuzztime 10s .
+go test -run '^$' -fuzz '^FuzzStepCache$' -fuzztime 10s .
 echo "== faultinject hooks must stay test-only"
 # The fault-injection registry is for tests: no non-test file outside the
 # package itself may assign a hook (matches `faultinject.X = ...`, not `==`).
@@ -52,6 +53,11 @@ echo "== stream push must stay within its allocation budget"
 # its rank context, compaction buffers, and CSR scratch, so a steady-state
 # push allocates a small constant (the escaping BlockResult plus schedules).
 go test -run '^TestStreamPushAllocBudget$' -count=1 .
-echo "== benchsnap -compare BENCH_PR7.json"
-go run ./cmd/benchsnap -compare BENCH_PR7.json
+echo "== step-cache hits must stay within their allocation budget"
+# A push that replays a cached fragment must stay far below the uncached
+# merge path's allocation cost — the step cache's whole point is O(fragment)
+# replay with near-zero allocation.
+go test -run '^TestStepCacheHitAllocBudget$' -count=1 .
+echo "== benchsnap -compare BENCH_PR8.json"
+go run ./cmd/benchsnap -compare BENCH_PR8.json
 echo "check: OK"

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"aisched/internal/core"
 	"aisched/internal/graph"
 	"aisched/internal/metrics"
 	"aisched/internal/obs"
@@ -85,27 +86,57 @@ type StreamOptions struct {
 	// block — including those finalized by Close, which are otherwise
 	// dropped. Results are also returned from Push/Flush either way.
 	OnResult func(*BlockResult)
+	// StepCacheCapacity is the structural step cache's fragment budget
+	// (0 = default 4096; negative disables it). The step cache memoizes
+	// whole push iterations keyed by structural fingerprints, so repeated
+	// block shapes replay in O(block); results are bit-identical either
+	// way. Close releases the cache's resident bytes.
+	StepCacheCapacity int
+	// StepCacheMaxBytes bounds the step cache's approximate resident bytes
+	// (0 = default 64 MiB; negative = fragment-count bound only).
+	StepCacheMaxBytes int
 }
 
 // StreamScheduler schedules a trace incrementally. Safe for concurrent use;
 // pushes are serialized.
 type StreamScheduler struct {
-	mu       sync.Mutex
-	eng      *stream.Scheduler
-	budget   Budget
-	tracer   Tracer
-	onResult func(*BlockResult)
-	closed   bool
+	mu        sync.Mutex
+	eng       *stream.Scheduler
+	stepCache *core.StepCache // nil when step caching is disabled
+	budget    Budget
+	tracer    Tracer
+	onResult  func(*BlockResult)
+	closed    bool
 }
 
 // NewStreamScheduler returns a streaming scheduler for machine m.
 func NewStreamScheduler(m *Machine, opt StreamOptions) *StreamScheduler {
-	return &StreamScheduler{
-		eng:      stream.New(m, stream.Options{Lookahead: opt.Lookahead, Tracer: opt.Tracer}),
+	ss := &StreamScheduler{
 		budget:   opt.Budget,
 		tracer:   opt.Tracer,
 		onResult: opt.OnResult,
 	}
+	if opt.StepCacheCapacity >= 0 {
+		ss.stepCache = core.NewStepCache(core.StepCacheConfig{
+			Capacity: opt.StepCacheCapacity,
+			MaxBytes: opt.StepCacheMaxBytes,
+		})
+	}
+	ss.eng = stream.New(m, stream.Options{
+		Lookahead: opt.Lookahead,
+		Tracer:    opt.Tracer,
+		StepCache: ss.stepCache,
+	})
+	return ss
+}
+
+// StepCacheCounters returns the structural step cache's activity counters
+// (all zero when step caching is disabled).
+func (ss *StreamScheduler) StepCacheCounters() CacheCounters {
+	if ss.stepCache == nil {
+		return CacheCounters{}
+	}
+	return ss.stepCache.Counters()
 }
 
 // Push feeds the next block and returns the blocks it finalized (often
@@ -167,6 +198,11 @@ func (ss *StreamScheduler) Close() error {
 		return nil
 	}
 	ss.closed = true
+	if ss.stepCache != nil {
+		// Return the cache's resident bytes to the process-wide gauge; the
+		// engine is done with it (a closed stream never pushes again).
+		defer ss.stepCache.Release()
+	}
 	if ss.eng.Err() != nil {
 		return nil // already poisoned; nothing left to flush
 	}
