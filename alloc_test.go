@@ -11,6 +11,8 @@ import (
 
 	"aisched/internal/machine"
 	"aisched/internal/workload"
+
+	"aisched/internal/testutil"
 )
 
 // TestScheduleTraceAllocBudget pins the end-to-end trace-scheduling
@@ -19,9 +21,7 @@ import (
 // budget leaves headroom for incidental growth but fails long before the
 // pre-arena count.
 func TestScheduleTraceAllocBudget(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race runtime allocates; budgets are measured without -race")
-	}
+	testutil.SkipIfAllocSensitive(t)
 	g, err := workload.Trace(rand.New(rand.NewSource(11)), workload.DefaultTrace())
 	if err != nil {
 		t.Fatal(err)
@@ -51,9 +51,7 @@ func TestScheduleTraceAllocBudget(t *testing.T) {
 // to the caller. The window bookkeeping itself (pending bitset, stream,
 // finish times, unit clocks) must come from the pooled scratch.
 func TestSimulateTraceAllocBudget(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race runtime allocates; budgets are measured without -race")
-	}
+	testutil.SkipIfAllocSensitive(t)
 	g, err := workload.Trace(rand.New(rand.NewSource(11)), workload.DefaultTrace())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,55 @@
+package aisched
+
+import (
+	"fmt"
+
+	"aisched/internal/core"
+	"aisched/internal/opt"
+	"aisched/internal/sched"
+)
+
+// Backend is the pluggable engine-level scheduling interface: graph +
+// machine in, a validated schedule and its emitted static order out. Two
+// implementations ship with the package — the Algorithm Lookahead heuristic
+// pipeline and the exact branch-and-bound oracle (internal/opt) — and the
+// planned aischedd service dispatches on this seam.
+type Backend = sched.Backend
+
+// BackendResult is what a Backend produces: the static per-block
+// instruction order and a schedule that Validate()s.
+type BackendResult = sched.BackendResult
+
+// ExactLimits caps the exact backend's branch-and-bound search (node count
+// and expansion budget); zero values select safe defaults.
+type ExactLimits = opt.Limits
+
+// ErrExactTooLarge and ErrExactBudget are the exact backend's "oracle
+// unavailable" errors: the instance exceeds the node cap, or the search
+// budget ran out before the optimum was proved.
+var (
+	ErrExactTooLarge = opt.ErrTooLarge
+	ErrExactBudget   = opt.ErrBudget
+)
+
+// HeuristicBackend returns the default production backend: Algorithm
+// Lookahead (provably optimal in the paper's restricted model, the
+// recommended heuristic on §4.2 machines).
+func HeuristicBackend() Backend { return core.HeuristicBackend{} }
+
+// ExactBackend returns the exact branch-and-bound backend: provably optimal
+// for the full multi-FU/non-unit-latency window model, exponential in the
+// worst case, and therefore capped by lim. Use it as a differential oracle
+// and for small hot blocks where optimality is worth the search.
+func ExactBackend(lim ExactLimits) Backend { return opt.NewBackend(lim) }
+
+// BackendByName resolves a CLI-style backend name ("heuristic", "exact").
+func BackendByName(name string) (Backend, error) {
+	switch name {
+	case "", "heuristic":
+		return HeuristicBackend(), nil
+	case "exact":
+		return ExactBackend(ExactLimits{}), nil
+	default:
+		return nil, fmt.Errorf("aisched: unknown backend %q (want heuristic or exact)", name)
+	}
+}

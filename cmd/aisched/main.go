@@ -48,6 +48,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,6 +89,7 @@ func main() {
 	var (
 		mode      = flag.String("mode", "loop", "trace, loop, program, or stream")
 		kAhead    = flag.Int("k", 0, "stream mode: lookahead k (0 = fully online, -1 = unbounded/batch-identical)")
+		backendN  = flag.String("backend", "heuristic", "trace mode: heuristic or exact (exact runs the capped branch-and-bound oracle and reports the provable optimum)")
 		w         = flag.Int("w", 4, "lookahead window size W")
 		mdl       = flag.String("machine", "single", "single, rs6000, or wide2")
 		iters     = flag.Int("iters", 20, "loop iterations to simulate")
@@ -182,7 +184,7 @@ func main() {
 		case "loop":
 			runLoop(blocks[0], m, *iters, *unroll, rec)
 		case "trace":
-			runTrace(blocks, m, rec)
+			runTrace(blocks, m, rec, *backendN)
 		case "stream":
 			runStream(blocks, m, *kAhead, rec, stepCap)
 		default:
@@ -277,7 +279,7 @@ func runLoop(b isa.Block, m *machine.Machine, iters, unroll int, rec *aisched.Tr
 	}
 }
 
-func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder) {
+func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder, backendName string) {
 	var seqs [][]isa.Instr
 	for _, b := range blocks {
 		seqs = append(seqs, b.Instrs)
@@ -294,6 +296,33 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 	t := tables.New("trace: dynamic completion under the window model",
 		"scheduler", "completion (cycles)")
 	t.Add("anticipatory (Algorithm Lookahead)", sim.Completion)
+
+	// -backend=exact adds the branch-and-bound optimum as a reference row
+	// and emits the oracle's static code instead of the heuristic's.
+	emitOrders := res.BlockOrders
+	emitLabel := "anticipatory"
+	if backendName != "" && backendName != "heuristic" {
+		be, err := aisched.BackendByName(backendName)
+		if err != nil {
+			fatal(err)
+		}
+		br, err := be.ScheduleTrace(context.Background(), g, m)
+		if err != nil {
+			fatal(fmt.Errorf("backend %s: %w (the exact oracle is capped to small traces; use -backend=heuristic)", backendName, err))
+		}
+		bsim, err := aisched.SimulateTrace(g, m, br.Order)
+		if err != nil {
+			fatal(err)
+		}
+		t.Add(fmt.Sprintf("%s backend (provable optimum)", be.Name()), bsim.Completion)
+		eo := make(map[int][]graph.NodeID, len(blocks))
+		for _, id := range br.Order {
+			b := g.Node(id).Block
+			eo[b] = append(eo[b], id)
+		}
+		emitOrders = eo
+		emitLabel = be.Name()
+	}
 	for _, bl := range baseline.All() {
 		order, err := baseline.ScheduleTrace(bl, g, m)
 		if err != nil {
@@ -306,11 +335,11 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 		t.Add(bl.Name(), s.Completion)
 	}
 	fmt.Println(t)
-	out, err := emit.Trace(blocks, res.BlockOrders)
+	out, err := emit.Trace(blocks, emitOrders)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("anticipatory static code:")
+	fmt.Printf("%s static code:\n", emitLabel)
 	fmt.Print(out)
 }
 

@@ -47,6 +47,7 @@ func main() {
 		{"T3", def(experiments.T3, 30)},
 		{"T3B", def(experiments.T3b, 30)},
 		{"T4", def(experiments.T4, 100)},
+		{"E1GAP", def(experiments.E1gap, 60)},
 		{"T5", def(experiments.T5, 20)},
 		{"T7", def(experiments.T7, 30)},
 		{"A1", def(experiments.A1, 30)},

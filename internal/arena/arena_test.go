@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"aisched/internal/graph"
+
+	"aisched/internal/testutil"
 )
 
 func TestAllocZeroedAndDisjoint(t *testing.T) {
@@ -59,6 +61,7 @@ func TestResetReusesMemoryWithoutGrowth(t *testing.T) {
 }
 
 func TestResetAllocsNothingSteadyState(t *testing.T) {
+	testutil.SkipIfAllocSensitive(t)
 	var a Arena
 	// Warm up the capacity.
 	a.Ints.Alloc(500)

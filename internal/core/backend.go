@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+	"aisched/internal/sbudget"
+	"aisched/internal/sched"
+)
+
+// HeuristicBackend adapts Algorithm Lookahead to the engine-level
+// sched.Backend interface: the static order is the emitted per-block code,
+// the schedule is the algorithm's predicted execution (legal per
+// Definition 2.3). Zero value is ready to use; Opt tunes the run.
+type HeuristicBackend struct {
+	Opt Options
+}
+
+// Name implements sched.Backend.
+func (HeuristicBackend) Name() string { return "heuristic" }
+
+// ScheduleTrace implements sched.Backend. A non-background ctx without an
+// explicit Opt.Budget is wrapped in a cancellation-only budget so the
+// pipeline's checkpoints observe it.
+func (b HeuristicBackend) ScheduleTrace(ctx context.Context, g *graph.Graph, m *machine.Machine) (*sched.BackendResult, error) {
+	o := b.Opt
+	if o.Budget == nil && ctx != nil && ctx != context.Background() {
+		o.Budget = sbudget.New(ctx, 0, 0)
+	}
+	res, err := LookaheadOpts(g, m, o)
+	if err != nil {
+		return nil, err
+	}
+	return &sched.BackendResult{Order: res.StaticOrder(), S: res.S}, nil
+}

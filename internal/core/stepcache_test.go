@@ -7,6 +7,7 @@ import (
 
 	"aisched/internal/graph"
 	"aisched/internal/machine"
+	"aisched/internal/obs"
 )
 
 // dupBlockTrace builds a trace whose blocks are instantiated from a small
@@ -187,6 +188,12 @@ func TestStepCacheNonCanonicalBypass(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameResult(t, "noncanon", got, want)
+	// The first block merges with no carried suffix and may be cached, but
+	// every later step sees carried IDs above the new block's minimum and
+	// must bypass: no hit may ever be served on this layout.
+	if c := sc.Counters(); c.Hits != 0 {
+		t.Fatalf("non-canonical layout served %d cache hits: %+v", c.Hits, c)
+	}
 }
 
 // TestStepCacheCustomTieBypass: a custom tie order must bypass the cache and
@@ -211,5 +218,85 @@ func TestStepCacheCustomTieBypass(t *testing.T) {
 	sameResult(t, "tie", got, want)
 	if c := sc.Counters(); c.Hits != 0 || c.Misses != 0 {
 		t.Fatalf("custom-tie run touched the cache: %+v", c)
+	}
+}
+
+// TestStepCacheTracerBypass: an attached Tracer changes what a step must
+// produce (per-pass events), so RunMemo must bypass the cache entirely —
+// no counter movement — while the result stays bit-identical to both the
+// cache-off tracer run and the traced event stream stays non-empty.
+func TestStepCacheTracerBypass(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := dupBlockTrace(r, 6, 4, 1, 1, 1, 0)
+	m := machine.SingleUnit(3)
+	rec := obs.NewRecorder()
+	want, err := LookaheadOpts(g, m, Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("tracer attached but no events recorded")
+	}
+	sc := NewStepCache(StepCacheConfig{})
+	rec2 := obs.NewRecorder()
+	got, err := LookaheadOpts(g, m, Options{Tracer: rec2, StepCache: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "tracer", got, want)
+	if c := sc.Counters(); c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("traced run touched the cache: %+v", c)
+	}
+	if a, b := len(rec.Events()), len(rec2.Events()); a != b {
+		t.Fatalf("cache-off and cache-on traced runs emitted %d vs %d events", a, b)
+	}
+}
+
+// TestStepCacheMaxOldGatingBypass pins the subtle half of the canonical-
+// layout gate: blocks appear in ascending order (so the trace looks
+// canonical at a glance), but one block's IDs straddle the next block's
+// minimum. When the carried suffix holds an ID ≥ the new block's first ID,
+// fragment keys from relocated copies would collide, so the step must
+// bypass (maxOld < newIDs[0] fails) and results must match cache-off
+// exactly.
+func TestStepCacheMaxOldGatingBypass(t *testing.T) {
+	// Block 0 owns IDs {0,1,2,4}, block 1 owns {3,5,6,7}: ascending block
+	// sequence, but carried node 4 sits above block 1's minimum ID 3. The
+	// latency-2 edge 2→4 leaves a trailing idle slot in block 0 so the chop
+	// carries node 4 into the merge with block 1.
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		blk := 0
+		if i == 3 || i >= 5 {
+			blk = 1
+		}
+		g.AddNode(fmt.Sprintf("n%d", i), 1, 0, blk)
+	}
+	g.MustEdge(0, 1, 1, 0)
+	g.MustEdge(2, 4, 2, 0)
+	g.MustEdge(3, 5, 1, 0)
+	g.MustEdge(5, 6, 1, 0)
+	m := machine.SingleUnit(3)
+	want, err := LookaheadOpts(g, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStepCache(StepCacheConfig{})
+	got, err := LookaheadOpts(g, m, Options{StepCache: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "maxold", got, want)
+	if c := sc.Counters(); c.Hits != 0 {
+		t.Fatalf("maxOld ≥ newIDs[0] layout served %d cache hits: %+v", c.Hits, c)
+	}
+	// Run the same trace again through the same cache: the canonical first
+	// step may hit, but the gated merge must keep bypassing — a second pass
+	// can never serve more hits than it has canonical steps.
+	if _, err := LookaheadOpts(g, m, Options{StepCache: sc}); err != nil {
+		t.Fatal(err)
+	}
+	if c := sc.Counters(); c.Hits > 1 {
+		t.Fatalf("gated merge was served from cache on replay: %+v", c)
 	}
 }

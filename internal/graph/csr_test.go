@@ -3,6 +3,8 @@ package graph
 import (
 	"math/rand"
 	"testing"
+
+	"aisched/internal/testutil"
 )
 
 // randomGraph builds a random DAG-ish graph (edges src < dst stay acyclic,
@@ -137,6 +139,7 @@ func TestSubMatchesInduced(t *testing.T) {
 // TestSubReuseAcrossInits pins the zero-allocation property: once grown, a
 // Sub re-Init over same-size subsets allocates nothing.
 func TestSubReuseAcrossInits(t *testing.T) {
+	testutil.SkipIfAllocSensitive(t)
 	r := rand.New(rand.NewSource(3))
 	g := randomGraph(r, 60)
 	c := NewCSR(g)

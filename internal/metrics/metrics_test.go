@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"aisched/internal/testutil"
 )
 
 func TestCounterBasics(t *testing.T) {
@@ -179,6 +181,7 @@ func TestHistogramEmpty(t *testing.T) {
 // writes, histogram observations, and sampler gates allocate nothing.
 // check.sh runs this test explicitly as the metrics record-path gate.
 func TestRecordPathZeroAlloc(t *testing.T) {
+	testutil.SkipIfAllocSensitive(t)
 	r := NewRegistry()
 	c := r.NewCounter("alloc_total", "")
 	g := r.NewGauge("alloc_gauge", "")

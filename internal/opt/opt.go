@@ -1,0 +1,724 @@
+// Package opt is the exact scheduling backend: a branch-and-bound search
+// over static instruction orders that is provably optimal for the full
+// window model — multiple functional-unit classes, non-unit execution
+// times, arbitrary non-negative latencies — where the paper's Rank/Lookahead
+// pipeline is only a heuristic (§4.2 carries no optimality proof).
+//
+// The search space is the set of compiler-emittable static orders: block-
+// contiguous streams whose per-block segment is a topological order of that
+// block (Definition 2.1 — instructions never move across block boundaries).
+// The hardware's dynamic execution is a deterministic function of the
+// static order (the greedy window machine of internal/hw), so the exact
+// trace optimum is the minimum simulated completion over that finite set.
+// Branch-and-bound explores order prefixes with three prunes:
+//
+//   - prefix-simulation lower bound: simulating the prefix alone
+//     lower-bounds every completion of its extensions, because appending
+//     instructions to the stream can only delay earlier ones (they steal
+//     units while an earlier instruction is data-stalled and hold the
+//     window head back, never enable anything sooner);
+//   - critical-path / class-work lower bounds over the unplaced remainder,
+//     released at earliest starts propagated from the prefix simulation;
+//   - dominance: memoized state signatures (identical-future prefixes are
+//     explored once) and unit-symmetric choice elimination (structurally
+//     interchangeable same-block nodes are expanded in canonical ID order
+//     only).
+//
+// Everything here is exponential in the worst case and guarded by
+// node-count and expansion budgets; callers treat ErrTooLarge/ErrBudget as
+// "oracle unavailable", exactly like internal/verify.
+package opt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"aisched/internal/graph"
+	"aisched/internal/hw"
+	"aisched/internal/machine"
+	"aisched/internal/sched"
+)
+
+// DefaultMaxNodes matches internal/verify's oracle guard.
+const DefaultMaxNodes = 16
+
+// maskNodes is the hard ceiling: placed sets are uint32 bitmasks.
+const maskNodes = 22
+
+// never marks an instruction whose producer has not issued (mirrors hw).
+const never = 1 << 30
+
+// ErrTooLarge reports an instance over the node budget.
+var ErrTooLarge = errors.New("opt: instance exceeds node budget")
+
+// ErrBudget reports an exhausted search budget (expansions or ctx).
+var ErrBudget = errors.New("opt: search budget exhausted")
+
+// Limits caps the exact search. Zero values select defaults.
+type Limits struct {
+	// MaxNodes rejects larger instances up front (default DefaultMaxNodes,
+	// hard-capped at 22 by the bitmask representation).
+	MaxNodes int
+	// MaxExpansions bounds branch-and-bound node expansions (default 1<<22).
+	MaxExpansions int64
+}
+
+func (l Limits) maxNodes() int {
+	n := l.MaxNodes
+	if n <= 0 {
+		n = DefaultMaxNodes
+	}
+	if n > maskNodes {
+		n = maskNodes
+	}
+	return n
+}
+
+func (l Limits) maxExpansions() int64 {
+	if l.MaxExpansions <= 0 {
+		return 1 << 22
+	}
+	return l.MaxExpansions
+}
+
+// Stats reports search effort and prune effectiveness.
+type Stats struct {
+	Expansions int64 // branch-and-bound nodes simulated
+	LBPrunes   int64 // subtrees cut by lower bounds
+	MemoHits   int64 // subtrees cut by state-signature memoization
+	SymSkips   int64 // sibling choices cut by unit-symmetry dominance
+}
+
+type pred struct {
+	node graph.NodeID
+	lat  int
+}
+
+type solver struct {
+	ctx context.Context
+	m   *machine.Machine
+	w   int
+	n   int
+
+	exec    []int
+	class   []int
+	preds   [][]pred // distance-0 in-edges
+	succs   [][]pred // distance-0 out-edges
+	cp      []int    // critical path to a sink, including own exec
+	topo    []graph.NodeID
+	predBit []uint32 // distance-0 predecessor mask per node
+	succBit []uint32 // distance-0 successor mask per node
+	symLess []uint32 // unit-symmetric nodes with smaller ID, per node
+
+	blockSeq [][]graph.NodeID // nodes per block, ascending block number
+	single   bool             // m.SingleUnitOnly(): one unit serves every class
+	unitBase []int            // per class: first global unit index
+	unitCnt  []int            // per class: unit count
+
+	order  []graph.NodeID
+	placed uint32
+
+	// prefix-simulation state, by stream position / by node
+	issued   []int
+	finishP  []int
+	finishN  []int
+	unitFree []int
+	est      []int
+
+	best       int
+	bestOrder  []graph.NodeID
+	memo       map[uint64]struct{}
+	lim        Limits
+	stats      Stats
+	maxExpand  int64
+	classWork  []int // scratch: remaining exec per class
+	classMinEs []int // scratch: min est per class
+}
+
+// OptimalTrace returns the minimum achievable dynamic completion of the
+// acyclic trace graph g on machine m over all compiler-emittable static
+// orders, together with an order achieving it. Only distance-0 edges
+// constrain a trace (like hw.SimulateTrace). The companion order satisfies
+// completion == hw.SimulateTrace(g, m, order).Completion.
+func OptimalTrace(ctx context.Context, g *graph.Graph, m *machine.Machine, lim Limits) (int, []graph.NodeID, Stats, error) {
+	s, err := newSolver(ctx, g, m, lim)
+	if err != nil {
+		return 0, nil, Stats{}, err
+	}
+	if s.n == 0 {
+		return 0, nil, s.stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, s.stats, err
+	}
+	if err := s.dfs(0); err != nil {
+		return 0, nil, s.stats, err
+	}
+	return s.best, s.bestOrder, s.stats, nil
+}
+
+func newSolver(ctx context.Context, g *graph.Graph, m *machine.Machine, lim Limits) (*solver, error) {
+	n := g.Len()
+	if n > lim.maxNodes() {
+		return nil, fmt.Errorf("%w: %d nodes > %d", ErrTooLarge, n, lim.maxNodes())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &solver{
+		ctx: ctx, m: m, w: m.Window, n: n, lim: lim,
+		maxExpand: lim.maxExpansions(),
+		single:    m.SingleUnitOnly(),
+		memo:      make(map[uint64]struct{}),
+	}
+	if s.w < 1 {
+		return nil, fmt.Errorf("opt: window %d < 1", s.w)
+	}
+	s.exec = make([]int, n)
+	s.class = make([]int, n)
+	s.preds = make([][]pred, n)
+	s.succs = make([][]pred, n)
+	s.predBit = make([]uint32, n)
+	s.succBit = make([]uint32, n)
+	blockOf := make([]int, n)
+	for v := 0; v < n; v++ {
+		nd := g.Node(graph.NodeID(v))
+		s.exec[v] = nd.Exec
+		s.class[v] = nd.Class
+		blockOf[v] = nd.Block
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.Distance != 0 {
+				continue // loop-carried: unconstrained in a single trace pass
+			}
+			if blockOf[e.Src] > blockOf[e.Dst] {
+				return nil, fmt.Errorf("opt: edge %d->%d crosses blocks backward (%d > %d)",
+					e.Src, e.Dst, blockOf[e.Src], blockOf[e.Dst])
+			}
+			s.succs[e.Src] = append(s.succs[e.Src], pred{e.Dst, e.Latency})
+			s.preds[e.Dst] = append(s.preds[e.Dst], pred{e.Src, e.Latency})
+			s.predBit[e.Dst] |= 1 << uint(e.Src)
+			s.succBit[e.Src] |= 1 << uint(e.Dst)
+		}
+	}
+	// Unit ranges per class, mirroring hw.unitRange: a single-unit machine
+	// serves every class from its one unit.
+	maxClass := 0
+	for v := 0; v < n; v++ {
+		if s.class[v] > maxClass {
+			maxClass = s.class[v]
+		}
+	}
+	s.unitBase = make([]int, maxClass+1)
+	s.unitCnt = make([]int, maxClass+1)
+	for c := 0; c <= maxClass; c++ {
+		if s.single {
+			s.unitBase[c], s.unitCnt[c] = 0, 1
+			continue
+		}
+		base := 0
+		for cls := 0; cls < c && cls < len(m.Units); cls++ {
+			base += m.Units[cls]
+		}
+		s.unitBase[c] = base
+		if c < len(m.Units) {
+			s.unitCnt[c] = m.Units[c]
+		}
+		if s.unitCnt[c] == 0 {
+			return nil, fmt.Errorf("opt: class %d has no units", c)
+		}
+	}
+	s.classWork = make([]int, maxClass+1)
+	s.classMinEs = make([]int, maxClass+1)
+
+	// Kahn topological order over distance-0 edges (also the cycle check).
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(s.preds[v])
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, graph.NodeID(v))
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		u := queue[i]
+		for _, e := range s.succs[u] {
+			if indeg[e.node]--; indeg[e.node] == 0 {
+				queue = append(queue, e.node)
+			}
+		}
+	}
+	if len(queue) != n {
+		return nil, fmt.Errorf("opt: distance-0 subgraph is cyclic")
+	}
+	s.topo = queue
+
+	// Critical path to a sink (including own exec), over distance-0 edges.
+	s.cp = make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		v := s.topo[i]
+		best := 0
+		for _, e := range s.succs[v] {
+			if t := e.lat + s.cp[e.node]; t > best {
+				best = t
+			}
+		}
+		s.cp[v] = s.exec[v] + best
+	}
+
+	// Blocks in ascending number; within a block nodes in ascending ID.
+	blocks := map[int][]graph.NodeID{}
+	var nums []int
+	for v := 0; v < n; v++ {
+		if _, ok := blocks[blockOf[v]]; !ok {
+			nums = append(nums, blockOf[v])
+		}
+		blocks[blockOf[v]] = append(blocks[blockOf[v]], graph.NodeID(v))
+	}
+	sort.Ints(nums)
+	for _, b := range nums {
+		s.blockSeq = append(s.blockSeq, blocks[b])
+	}
+
+	// Unit-symmetry: u ~ v when swapping them everywhere leaves every
+	// constraint unchanged — same block/class/exec, no edge between them,
+	// identical distance-0 in- and out-edge multisets. Among mutually
+	// symmetric unplaced candidates only the smallest ID is expanded.
+	s.symLess = make([]uint32, n)
+	edgeKey := func(ps []pred) string {
+		ks := append([]pred(nil), ps...)
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].node != ks[j].node {
+				return ks[i].node < ks[j].node
+			}
+			return ks[i].lat < ks[j].lat
+		})
+		return fmt.Sprint(ks)
+	}
+	for v := 0; v < n; v++ {
+		for u := 0; u < v; u++ {
+			if blockOf[u] != blockOf[v] || s.class[u] != s.class[v] || s.exec[u] != s.exec[v] {
+				continue
+			}
+			if s.predBit[v]&(1<<uint(u)) != 0 || s.predBit[u]&(1<<uint(v)) != 0 {
+				continue
+			}
+			if edgeKey(s.preds[u]) != edgeKey(s.preds[v]) || edgeKey(s.succs[u]) != edgeKey(s.succs[v]) {
+				continue
+			}
+			s.symLess[v] |= 1 << uint(u)
+		}
+	}
+
+	s.order = make([]graph.NodeID, n)
+	s.issued = make([]int, n)
+	s.finishP = make([]int, n)
+	s.finishN = make([]int, n)
+	s.unitFree = make([]int, m.TotalUnits())
+	s.est = make([]int, n)
+	s.bestOrder = make([]graph.NodeID, n)
+
+	// Seed the incumbent with the natural order: blocks ascending, each
+	// block's segment the global topo order restricted to it.
+	topoPos := make([]int, n)
+	for i, v := range s.topo {
+		topoPos[v] = i
+	}
+	p := 0
+	for _, blk := range s.blockSeq {
+		seg := append([]graph.NodeID(nil), blk...)
+		sort.Slice(seg, func(i, j int) bool { return topoPos[seg[i]] < topoPos[seg[j]] })
+		copy(s.order[p:], seg)
+		p += len(seg)
+	}
+	comp, err := s.simulate(n)
+	if err != nil {
+		return nil, err
+	}
+	s.best = comp
+	copy(s.bestOrder, s.order[:n])
+	return s, nil
+}
+
+// readyAt mirrors hw.earliestReady on the prefix stream: the earliest cycle
+// v's distance-0 producers allow issue, or never while one is unissued.
+func (s *solver) readyAt(v graph.NodeID) int {
+	at := 0
+	for _, e := range s.preds[v] {
+		f := s.finishN[e.node]
+		if f < 0 {
+			return never
+		}
+		if r := f + e.lat; r > at {
+			at = r
+		}
+	}
+	return at
+}
+
+// simulate executes the first p entries of s.order as a complete stream on
+// the greedy window machine, mirroring hw.simulate's trace semantics
+// (in-order fetch, out-of-order issue within the W-window, position
+// priority, first-free unit). It fills issued/finishP by position and
+// finishN by node, and returns the completion.
+func (s *solver) simulate(p int) (int, error) {
+	for i := 0; i < p; i++ {
+		s.issued[i] = -1
+		s.finishP[i] = -1
+		s.finishN[s.order[i]] = -1
+	}
+	for i := range s.unitFree {
+		s.unitFree[i] = 0
+	}
+	head, done := 0, 0
+	for t := 0; done < p; t++ {
+		progress := false
+		inWindow := head + s.w
+		if inWindow > p {
+			inWindow = p
+		}
+		for i := head; i < inWindow; i++ {
+			if s.issued[i] >= 0 {
+				continue
+			}
+			v := s.order[i]
+			if s.readyAt(v) > t {
+				continue
+			}
+			base, cnt := s.unitBase[s.class[v]], s.unitCnt[s.class[v]]
+			unit := -1
+			for u := base; u < base+cnt; u++ {
+				if s.unitFree[u] <= t {
+					unit = u
+					break
+				}
+			}
+			if unit < 0 {
+				continue
+			}
+			s.issued[i] = t
+			f := t + s.exec[v]
+			s.finishP[i] = f
+			s.finishN[v] = f
+			s.unitFree[unit] = f
+			done++
+			progress = true
+		}
+		for head < p && s.issued[head] >= 0 {
+			head++
+		}
+		if !progress {
+			// Jump to the next cycle anything can change.
+			next := -1
+			inWindow = head + s.w
+			if inWindow > p {
+				inWindow = p
+			}
+			for i := head; i < inWindow; i++ {
+				if s.issued[i] >= 0 {
+					continue
+				}
+				v := s.order[i]
+				cand := s.readyAt(v)
+				base, cnt := s.unitBase[s.class[v]], s.unitCnt[s.class[v]]
+				uf := -1
+				for u := base; u < base+cnt; u++ {
+					if uf == -1 || s.unitFree[u] < uf {
+						uf = s.unitFree[u]
+					}
+				}
+				if uf > cand {
+					cand = uf
+				}
+				if next == -1 || cand < next {
+					next = cand
+				}
+			}
+			if next >= never/2 || next < 0 {
+				// Impossible for topologically ordered streams: every
+				// producer precedes its consumer, so something is ready.
+				return 0, fmt.Errorf("opt: stream deadlock at cycle %d (prefix %d)", t, p)
+			}
+			if next <= t {
+				next = t + 1
+			}
+			t = next - 1
+		}
+	}
+	comp := 0
+	for i := 0; i < p; i++ {
+		if s.finishP[i] > comp {
+			comp = s.finishP[i]
+		}
+	}
+	return comp, nil
+}
+
+// lowerBound combines the prefix completion with critical-path and
+// class-work bounds over the unplaced remainder. Prefix finish times are
+// lower bounds on the true finish times under any extension (appending
+// instructions never speeds earlier ones up), so releases propagated from
+// them stay admissible.
+func (s *solver) lowerBound(prefixComp int) int {
+	lb := prefixComp
+	for c := range s.classWork {
+		s.classWork[c] = 0
+		s.classMinEs[c] = never
+	}
+	for _, v := range s.topo {
+		if s.placed&(1<<uint(v)) != 0 {
+			continue
+		}
+		e := 0
+		for _, pe := range s.preds[v] {
+			var r int
+			if s.placed&(1<<uint(pe.node)) != 0 {
+				r = s.finishN[pe.node] + pe.lat
+			} else {
+				r = s.est[pe.node] + s.exec[pe.node] + pe.lat
+			}
+			if r > e {
+				e = r
+			}
+		}
+		s.est[v] = e
+		if t := e + s.cp[v]; t > lb {
+			lb = t
+		}
+		c := s.class[v]
+		if s.single {
+			c = 0
+		}
+		s.classWork[c] += s.exec[v]
+		if e < s.classMinEs[c] {
+			s.classMinEs[c] = e
+		}
+	}
+	for c := range s.classWork {
+		if s.classWork[c] == 0 {
+			continue
+		}
+		cnt := 1
+		if !s.single {
+			cnt = s.unitCnt[c]
+		}
+		if t := s.classMinEs[c] + (s.classWork[c]+cnt-1)/cnt; t > lb {
+			lb = t
+		}
+	}
+	return lb
+}
+
+// stateKey hashes everything the future of a prefix can depend on. Two
+// prefixes with equal keys have identical optimal extensions:
+//
+//   - the placed set and the ordered tail (last W−1 positions): suffix
+//     instructions can only interact with those — a position ≥ p+W−1 back
+//     enters the window only after everything before it issued;
+//   - frozen positions' (issue, class, exec) by position: issue times of
+//     positions ≤ p−W are final (they depend only on the stream through
+//     position+W−1), and drive head advance and unit occupancy;
+//   - frozen nodes' finish times by node, for nodes with successors
+//     outside the frozen set: the dependence releases the future observes.
+//     Tail successors count — a tail position's issue time is re-derived by
+//     the next simulation from its producers' finishes, so a frozen
+//     producer feeding only the tail still differentiates futures (two
+//     equal-class/exec nodes swapped within the frozen region finish at
+//     different cycles and release a tail consumer at different times).
+//
+// FNV-1a over the tuple; a 64-bit collision would be needed to prune
+// wrongly, which the differential oracles would surface.
+func (s *solver) stateKey(p int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(s.placed))
+	frozen := p - (s.w - 1)
+	if frozen < 0 {
+		frozen = 0
+	}
+	for i := frozen; i < p; i++ {
+		mix(uint64(s.order[i]) | 1<<40)
+	}
+	var frozenMask uint32
+	for i := 0; i < frozen; i++ {
+		v := s.order[i]
+		frozenMask |= 1 << uint(v)
+		mix(uint64(s.issued[i]) | uint64(s.class[v])<<24 | uint64(s.exec[v])<<32 | 2<<40)
+	}
+	for i := 0; i < frozen; i++ {
+		v := s.order[i]
+		if s.succBit[v]&^frozenMask != 0 {
+			mix(uint64(v)<<24 | uint64(s.finishN[v]) | 3<<40)
+		}
+	}
+	return h
+}
+
+func (s *solver) dfs(p int) error {
+	s.stats.Expansions++
+	if s.stats.Expansions > s.maxExpand {
+		return fmt.Errorf("%w: %d expansions", ErrBudget, s.stats.Expansions)
+	}
+	if s.stats.Expansions&63 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	comp, err := s.simulate(p)
+	if err != nil {
+		return err
+	}
+	if p == s.n {
+		if comp < s.best {
+			s.best = comp
+			copy(s.bestOrder, s.order)
+		}
+		return nil
+	}
+	if s.lowerBound(comp) >= s.best {
+		s.stats.LBPrunes++
+		return nil
+	}
+	key := s.stateKey(p)
+	if _, ok := s.memo[key]; ok {
+		s.stats.MemoHits++
+		return nil
+	}
+	s.memo[key] = struct{}{}
+
+	// Current block: the first in sequence with an unplaced node
+	// (block-contiguous emission).
+	var blk []graph.NodeID
+	for _, b := range s.blockSeq {
+		rem := false
+		for _, v := range b {
+			if s.placed&(1<<uint(v)) == 0 {
+				rem = true
+				break
+			}
+		}
+		if rem {
+			blk = b
+			break
+		}
+	}
+	for _, v := range blk {
+		bit := uint32(1) << uint(v)
+		if s.placed&bit != 0 || s.predBit[v]&^s.placed != 0 {
+			continue
+		}
+		if s.symLess[v]&^s.placed != 0 {
+			s.stats.SymSkips++
+			continue // an interchangeable smaller-ID sibling covers this
+		}
+		s.order[p] = v
+		s.placed |= bit
+		err := s.dfs(p + 1)
+		s.placed &^= bit
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Backend adapts the exact search to the engine-level sched.Backend
+// interface. The returned schedule is the simulated hardware execution of
+// the optimal static order — cross-checked against internal/hw at runtime
+// so the solver's window model can never silently drift from the reference
+// simulator.
+type Backend struct {
+	Lim Limits
+}
+
+// NewBackend returns an exact backend with the given limits.
+func NewBackend(lim Limits) *Backend { return &Backend{Lim: lim} }
+
+// Name implements sched.Backend.
+func (*Backend) Name() string { return "exact" }
+
+// ScheduleTrace implements sched.Backend.
+func (b *Backend) ScheduleTrace(ctx context.Context, g *graph.Graph, m *machine.Machine) (*sched.BackendResult, error) {
+	comp, order, _, err := OptimalTrace(ctx, g, m, b.Lim)
+	if err != nil {
+		return nil, err
+	}
+	res, err := hw.SimulateTrace(g, m, order)
+	if err != nil {
+		return nil, err
+	}
+	if res.Completion != comp {
+		return nil, fmt.Errorf("opt: solver completion %d disagrees with hw simulation %d", comp, res.Completion)
+	}
+	s, err := executionSchedule(g, m, order, res.Issued)
+	if err != nil {
+		return nil, err
+	}
+	return &sched.BackendResult{Order: order, S: s}, nil
+}
+
+// executionSchedule rebuilds the dynamic execution as a sched.Schedule:
+// start cycles come from the simulator, unit assignments replay its
+// deterministic choice (positions in (cycle, position) order take the first
+// free unit of their class).
+func executionSchedule(g *graph.Graph, m *machine.Machine, order []graph.NodeID, issued []int) (*sched.Schedule, error) {
+	s := sched.New(g, m)
+	pos := make([]int, len(order))
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.Slice(pos, func(a, b int) bool {
+		if issued[pos[a]] != issued[pos[b]] {
+			return issued[pos[a]] < issued[pos[b]]
+		}
+		return pos[a] < pos[b]
+	})
+	unitFree := make([]int, m.TotalUnits())
+	for _, i := range pos {
+		v := order[i]
+		t := issued[i]
+		base, cnt := 0, 1
+		if !m.SingleUnitOnly() {
+			c := g.Node(v).Class
+			for cls := 0; cls < c && cls < len(m.Units); cls++ {
+				base += m.Units[cls]
+			}
+			if c >= len(m.Units) || m.Units[c] == 0 {
+				return nil, fmt.Errorf("opt: class %d has no units", c)
+			}
+			cnt = m.Units[c]
+		}
+		unit := -1
+		for u := base; u < base+cnt; u++ {
+			if unitFree[u] <= t {
+				unit = u
+				break
+			}
+		}
+		if unit < 0 {
+			return nil, fmt.Errorf("opt: no free unit for node %d at cycle %d", v, t)
+		}
+		s.Start[v] = t
+		s.Unit[v] = unit
+		unitFree[unit] = t + g.Node(v).Exec
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("opt: execution schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"context"
+
+	"aisched/internal/graph"
+	"aisched/internal/machine"
+)
+
+// BackendResult is what a scheduling backend produces for a trace: the
+// static per-block instruction order it emitted (block-contiguous, each
+// block's segment a topological order of that block — the compiler artifact
+// of Definition 2.1), and a schedule that Validate()s describing where the
+// backend expects each instruction to run.
+//
+// For the heuristic backend the schedule is Algorithm Lookahead's predicted
+// execution (legal per Definition 2.3). For the exact backend it is the
+// simulated hardware-window execution of the optimal static order — the
+// true dynamic schedule, whose completion no legal static order can beat.
+type BackendResult struct {
+	// Order is the emitted static instruction stream: per-block
+	// subpermutations concatenated in ascending block order. Feed it to the
+	// hw simulator to obtain the dynamic execution.
+	Order []graph.NodeID
+	// S assigns every node a start cycle and unit; S.Validate() == nil.
+	S *Schedule
+}
+
+// Backend is the engine-level scheduling interface: graph + machine
+// (window size included in machine.Machine.Window) in, a legal schedule and
+// its static order out. It is the seam between the scheduling engines and
+// the facade — the heuristic pipeline (internal/core) and the exact
+// branch-and-bound oracle (internal/opt) both implement it, and the
+// planned aischedd service dispatches on it.
+//
+// Implementations must honor ctx cancellation and must not retain g or m
+// past the call.
+type Backend interface {
+	// Name identifies the backend ("heuristic", "exact") for CLI flags,
+	// metrics labels, and experiment tables.
+	Name() string
+	// ScheduleTrace schedules the acyclic trace graph g on m. Only
+	// distance-0 edges constrain a trace.
+	ScheduleTrace(ctx context.Context, g *graph.Graph, m *machine.Machine) (*BackendResult, error)
+}

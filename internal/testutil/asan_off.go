@@ -1,0 +1,7 @@
+//go:build !asan
+
+package testutil
+
+// AsanEnabled reports whether this binary was built with -asan (see
+// asan_on.go).
+const AsanEnabled = false

@@ -1,0 +1,6 @@
+//go:build asan
+
+package testutil
+
+// AsanEnabled reports that this binary was built with -asan.
+const AsanEnabled = true

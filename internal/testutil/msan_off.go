@@ -1,0 +1,7 @@
+//go:build !msan
+
+package testutil
+
+// MsanEnabled reports whether this binary was built with -msan (see
+// msan_on.go).
+const MsanEnabled = false

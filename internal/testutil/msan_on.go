@@ -1,0 +1,6 @@
+//go:build msan
+
+package testutil
+
+// MsanEnabled reports that this binary was built with -msan.
+const MsanEnabled = true

@@ -1,0 +1,7 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether this binary was built with -race (see
+// race_on.go).
+const RaceEnabled = false

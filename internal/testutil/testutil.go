@@ -1,0 +1,29 @@
+// Package testutil holds shared test helpers. Its main export is
+// SkipIfAllocSensitive: allocation-budget tests (testing.AllocsPerRun
+// gates) measure the plain Go runtime, and instrumented builds — the race
+// detector's shadow bookkeeping, msan/asan quarantines, or an active
+// GOEXPERIMENT that changes the allocator — make those budgets meaningless.
+// Such tests must skip, not fail, so `go test -race ./...` stays green
+// without loosening the budgets the uninstrumented CI lane enforces.
+package testutil
+
+import (
+	"os"
+	"testing"
+)
+
+// SkipIfAllocSensitive skips the calling test when the binary is built with
+// instrumentation or experiments that perturb allocation counts.
+func SkipIfAllocSensitive(t testing.TB) {
+	switch {
+	case RaceEnabled:
+		t.Skip("race runtime allocates; budgets are measured without -race")
+	case MsanEnabled:
+		t.Skip("msan runtime allocates; budgets are measured without -msan")
+	case AsanEnabled:
+		t.Skip("asan runtime allocates; budgets are measured without -asan")
+	case os.Getenv("GOEXPERIMENT") != "":
+		t.Skipf("GOEXPERIMENT=%s may change allocator behavior; budgets are measured on the default toolchain",
+			os.Getenv("GOEXPERIMENT"))
+	}
+}

@@ -1,0 +1,103 @@
+package aisched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aisched/internal/paperex"
+)
+
+// generalizeInstance rebuilds a decoded restricted instance as a §4.2
+// general-model instance driven by the same bytes: execution times become
+// 1 or 2 cycles (bit 1 of the per-node block byte) and latency-1 edges are
+// boosted to 3 cycles. The machine keeps its window but gains nothing — a
+// single FU with multi-cycle operations is the simplest general regime.
+func generalizeInstance(data []byte, g *Graph) *Graph {
+	gg := NewGraph(g.Len())
+	for i := 0; i < g.Len(); i++ {
+		exec := 1 + int(data[2+i]>>1)%2
+		n := g.Node(NodeID(i))
+		gg.AddNode("g", exec, 0, n.Block)
+	}
+	for _, e := range g.Edges() {
+		lat := e.Latency
+		if lat == 1 {
+			lat = 3
+		}
+		gg.MustEdge(e.Src, e.Dst, lat, e.Distance)
+	}
+	return gg
+}
+
+// FuzzExactOracle is the differential oracle as a fuzz target: arbitrary
+// bytes decode into a ≤10-node trace scheduled by both backends.
+//
+//   - Oracle soundness (both models): the heuristic's simulated completion
+//     never beats the exact optimum — the assertion that exposed the memo
+//     tail-release bug (see TestExactMemoTailReleaseRegression).
+//   - Restricted, single block: heuristic == optimum exactly (the Rank
+//     Algorithm's optimality theorem).
+//   - Restricted, multi-block: gap ≤ 2 cycles (the reproduction finding
+//     pinned by T4 and TestHeuristicNearExactRestrictedTraces).
+//   - General model: heuristic stays legal and within a conservative
+//     2n-cycle tripwire of optimal (catches catastrophic regressions like
+//     the PR 7 window-realizability bug, not ordinary heuristic slack).
+func FuzzExactOracle(f *testing.F) {
+	fig1 := paperex.NewFig1()
+	f.Add(encodeInstance(fig1.G, 4))
+	fig2 := paperex.NewFig2()
+	f.Add(encodeInstance(fig2.G, 2))
+	f.Add([]byte{})
+	f.Add([]byte{1, 7, 0, 1, 0, 1, 0, 0, 0, 0x80, 4, 2, 7, 0x85, 8})
+	// The PR 7 window-realizability reproducer (see EXPERIMENTS.md).
+	f.Add([]byte("0A00000010000\x809\x80$71\x819\x81$\x820\x830\x86(()aA(a"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, m := decodeInstance(data, true)
+		if g == nil || g.Len() > 10 {
+			return
+		}
+		ctx := context.Background()
+		heur, exact := HeuristicBackend(), ExactBackend(ExactLimits{})
+
+		check := func(tag string, g *Graph, singleBlock bool) {
+			h, err := heur.ScheduleTrace(ctx, g, m)
+			if err != nil {
+				t.Fatalf("%s: heuristic failed on a well-formed DAG: %v", tag, err)
+			}
+			if err := h.S.Validate(); err != nil {
+				t.Fatalf("%s: heuristic schedule invalid: %v", tag, err)
+			}
+			e, err := exact.ScheduleTrace(ctx, g, m)
+			if errors.Is(err, ErrExactBudget) {
+				return // oracle unavailable; nothing to compare against
+			}
+			if err != nil {
+				t.Fatalf("%s: exact backend failed: %v", tag, err)
+			}
+			opt := e.S.Makespan()
+			sim, err := SimulateTrace(g, m, h.Order)
+			if err != nil {
+				t.Fatalf("%s: simulate heuristic order: %v", tag, err)
+			}
+			gap := sim.Completion - opt
+			switch {
+			case gap < 0:
+				t.Fatalf("%s: heuristic %d beats 'optimal' %d — exact backend unsound",
+					tag, sim.Completion, opt)
+			case tag == "restricted" && singleBlock && gap != 0:
+				t.Fatalf("%s: single-block gap %d != 0 (rank optimality violated)", tag, gap)
+			case tag == "restricted" && gap > 2:
+				t.Fatalf("%s: trace gap %d > 2 cycles (heuristic %d, optimum %d)",
+					tag, gap, sim.Completion, opt)
+			case tag == "general" && gap > 2*g.Len():
+				t.Fatalf("%s: gap %d exceeds the 2n tripwire (heuristic %d, optimum %d)",
+					tag, gap, sim.Completion, opt)
+			}
+		}
+
+		singleBlock := g.Node(NodeID(g.Len()-1)).Block == 0
+		check("restricted", g, singleBlock)
+		check("general", generalizeInstance(data, g), singleBlock)
+	})
+}

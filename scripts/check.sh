@@ -18,6 +18,12 @@ echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzScheduleBlock$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzScheduleTrace$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzStepCache$' -fuzztime 10s .
+go test -run '^$' -fuzz '^FuzzExactOracle$' -fuzztime 10s .
+echo "== optimality-gap quick sweep (E1GAP, reduced instance count)"
+# The full 60-instance sweep lives in EXPERIMENTS.md; a 15-instance pass
+# keeps the heuristic-vs-exact differential honest on every check without
+# blowing the time budget.
+go run ./cmd/experiments -t E1GAP -n 15
 echo "== faultinject hooks must stay test-only"
 # The fault-injection registry is for tests: no non-test file outside the
 # package itself may assign a hook (matches `faultinject.X = ...`, not `==`).

@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"aisched/internal/workload"
+
+	"aisched/internal/testutil"
 )
 
 // repeatTrace concatenates g with itself `times` times — node IDs and block
@@ -168,9 +170,7 @@ func TestStepCacheStreamDifferential(t *testing.T) {
 // within a small constant allocation budget — far below the uncached merge
 // path — and the measured window really is hitting the cache.
 func TestStepCacheHitAllocBudget(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race runtime allocates; budgets are measured without -race")
-	}
+	testutil.SkipIfAllocSensitive(t)
 	g, err := workload.Trace(rand.New(rand.NewSource(11)), workload.DefaultTrace())
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,8 @@ import (
 	"aisched/internal/machine"
 	"aisched/internal/sched"
 	"aisched/internal/workload"
+
+	"aisched/internal/testutil"
 )
 
 // streamAll pushes every block of g through a fresh StreamScheduler and
@@ -436,9 +438,7 @@ func TestStreamInputValidation(t *testing.T) {
 // merge/delay schedules — far under the 137 allocs the whole batch trace
 // costs.
 func TestStreamPushAllocBudget(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race runtime allocates; budgets are measured without -race")
-	}
+	testutil.SkipIfAllocSensitive(t)
 	g, err := workload.Trace(rand.New(rand.NewSource(11)), workload.DefaultTrace())
 	if err != nil {
 		t.Fatal(err)
