@@ -46,6 +46,35 @@ func TestScheduleTraceAllocBudget(t *testing.T) {
 	t.Logf("ScheduleTrace: %.0f allocs/op (budget %d)", allocs, budget)
 }
 
+// TestScheduleTraceAllocExactSpecOff pins the default trace path — which
+// stays sequential on this workload, since six blocks are far below the
+// speculative parallel path's auto threshold — at BENCH_PR8's exact 133
+// allocs/op. The parallel dispatch gate must cost an integer compare, not
+// an allocation: any drift here means speculation leaked into the small-
+// trace hot path.
+func TestScheduleTraceAllocExactSpecOff(t *testing.T) {
+	testutil.SkipIfAllocSensitive(t)
+	g, err := workload.Trace(rand.New(rand.NewSource(11)), workload.DefaultTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.SingleUnit(4)
+	for i := 0; i < 3; i++ {
+		if _, err := ScheduleTrace(g, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const exact = 133
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ScheduleTrace(g, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if int(allocs) != exact {
+		t.Fatalf("ScheduleTrace: %.0f allocs/op, want exactly %d (BENCH_PR8 baseline)", allocs, exact)
+	}
+}
+
 // TestSimulateTraceAllocBudget pins the simulator at its two unavoidable
 // allocations per run: the Issued slice and the Result, both of which escape
 // to the caller. The window bookkeeping itself (pending bitset, stream,

@@ -66,6 +66,14 @@ type SchedulerOptions struct {
 	StepCacheMaxBytes int
 	// Workers bounds ScheduleBatch's worker pool (0 = GOMAXPROCS).
 	Workers int
+	// ParallelTrace selects the speculative parallel trace path inside
+	// ScheduleTrace (fingerprint-verified segment speculation; see the
+	// "Parallel trace scheduling" README section). 0 (the default) is auto:
+	// long block-grouped traces are partitioned across GOMAXPROCS
+	// speculative workers when no per-request Budget or custom hook forces
+	// the sequential walk. Negative disables the parallel path; positive
+	// forces that many segments. Results are bit-identical in every mode.
+	ParallelTrace int
 	// Tracer, when non-nil, receives cache events (hit, miss, evict,
 	// coalesce) plus cancellation/degradation events for the metrics
 	// snapshot. Scheduling passes are not traced here — use Observer /
@@ -84,13 +92,15 @@ type Scheduler struct {
 	cache     *memo.Cache     // nil when caching is disabled
 	stepCache *core.StepCache // nil when step caching is disabled
 	workers   int
+	parallel  int
 	budget    Budget
 	tracer    Tracer
 }
 
 // NewScheduler builds a Scheduler from opt.
 func NewScheduler(opt SchedulerOptions) *Scheduler {
-	s := &Scheduler{workers: opt.Workers, budget: opt.Budget, tracer: opt.Tracer}
+	s := &Scheduler{workers: opt.Workers, parallel: opt.ParallelTrace,
+		budget: opt.Budget, tracer: opt.Tracer}
 	if opt.CacheCapacity >= 0 {
 		s.cache = memo.New(memo.Config{
 			Capacity: opt.CacheCapacity,
@@ -128,6 +138,17 @@ func (sc *Scheduler) StepCacheCounters() CacheCounters {
 	}
 	return sc.stepCache.Counters()
 }
+
+// SpecCounters is a snapshot of the speculative parallel trace scheduler's
+// counters: runs that took the parallel path, segments speculated, join
+// verification hits/misses, blocks recomputed after a miss, and hint-seeded
+// (lane B) segments.
+type SpecCounters = core.SpecStats
+
+// SpecTraceCounters snapshots the speculation counters. They are
+// process-wide — the parallel path engages per call, not per Scheduler — so
+// callers wanting per-run numbers diff two snapshots.
+func SpecTraceCounters() SpecCounters { return core.SpecCounters() }
 
 // scheduleBlockFused is ScheduleBlock with both passes sharing one rank
 // context (the PR 2 engine's per-graph cached topo order, descendant closure
@@ -209,7 +230,7 @@ func (sc *Scheduler) ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine)
 	defer observeRequest(mReqTraceNS, time.Now())
 	bs := sc.newBudget(ctx)
 	if sc.cache == nil {
-		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs, StepCache: sc.stepCache})
+		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs, StepCache: sc.stepCache, Parallel: sc.parallel})
 		if err == nil {
 			return r, nil
 		}
@@ -219,7 +240,7 @@ func (sc *Scheduler) ScheduleTraceCtx(ctx context.Context, g *Graph, m *Machine)
 		return nil, err
 	}
 	v, _, err := sc.cache.DoCtx(ctx, memo.KeyFor(g, m, memo.KindTrace), func() (any, error) {
-		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs, StepCache: sc.stepCache})
+		r, err := core.LookaheadOpts(g, m, core.Options{Budget: bs, StepCache: sc.stepCache, Parallel: sc.parallel})
 		if err != nil {
 			return nil, err
 		}

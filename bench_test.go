@@ -337,6 +337,55 @@ func BenchmarkScheduleTraceSize(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleTraceLong (P3): the long-trace regime the speculative
+// parallel path targets, at 64 and 256 blocks in two structures — "barrier"
+// (every second block a serial latency-1 chain, the natural cut points
+// segment speculation verifies against) and "mixed" (no barriers, mixed
+// latencies, cross-block floors everywhere — the adversarial case where
+// joins miss and fall back). par=auto engages speculation when GOMAXPROCS
+// permits; par=off pins the sequential walk, so auto/off is the measured
+// parallel speedup on a multicore host (on one CPU the auto gate keeps
+// both lanes sequential). Caches are disabled on both sides so every op
+// walks the full merge loop.
+func BenchmarkScheduleTraceLong(b *testing.B) {
+	for _, tc := range []struct {
+		name         string
+		blocks       int
+		barrierEvery int
+	}{
+		{"blocks=64/barrier", 64, 2},
+		{"blocks=64/mixed", 64, 0},
+		{"blocks=256/barrier", 256, 2},
+		{"blocks=256/mixed", 256, 0},
+	} {
+		for _, par := range []struct {
+			name string
+			v    int
+		}{{"par=auto", 0}, {"par=off", -1}} {
+			b.Run(tc.name+"/"+par.name, func(b *testing.B) {
+				r := rand.New(rand.NewSource(int64(tc.blocks)))
+				cfg := workload.DefaultLongTrace(tc.blocks)
+				cfg.BarrierEvery = tc.barrierEvery
+				g, err := workload.LongTrace(r, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := machine.SingleUnit(4)
+				sc := NewScheduler(SchedulerOptions{
+					CacheCapacity: -1, StepCacheCapacity: -1, ParallelTrace: par.v,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sc.ScheduleTrace(g, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSimulator: raw window-simulator throughput (cycles simulated per
 // second matters for the experiment harness).
 func BenchmarkSimulator(b *testing.B) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aisched [-mode trace|loop] [-w window] [-machine single|rs6000|wide2] [-iters n]
-//	        [-trace out.json] [-stats] [-timeline] file.s
+//	        [-par on|off] [-trace out.json] [-stats] [-timeline] file.s
 //
 // With no file, the paper's Figure 3 partial-products loop is used.
 //
@@ -29,6 +29,14 @@
 // (-stepcache=off disables it, -stepcache-size bounds its fragment count);
 // repeated block shapes replay memoized merge/chop steps, and the hit/miss
 // counters are reported after the run. Results are bit-identical either way.
+//
+// Trace and program modes run with speculative parallel trace scheduling in
+// its default auto mode (-par=off pins the sequential walk): long traces are
+// partitioned at barrier-scored cut points, segments are scheduled
+// speculatively on parallel workers and accepted on an O(1) entry-state
+// fingerprint match. When the speculative path engaged, the verified/missed
+// segment counters are printed after the run. Results are bit-identical
+// either way; -par only exists to measure the difference.
 //
 // Observability:
 //
@@ -99,6 +107,7 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print a plain-text pipeline timeline")
 		bPasses   = flag.Int("budget-passes", 0, "program mode: per-trace rank-pass budget; exhausted traces degrade to the baseline list schedule (0 = unlimited)")
 		bMillis   = flag.Int("budget-ms", 0, "program mode: per-trace wall-clock budget in milliseconds (0 = unlimited)")
+		par       = flag.String("par", "on", "speculative parallel trace scheduling: on (auto) or off (trace and program modes)")
 		stepcache = flag.String("stepcache", "on", "structural step cache: on or off (program and stream modes)")
 		stepSize  = flag.Int("stepcache-size", 0, "step cache fragment budget (0 = default 4096)")
 		metricsF  = flag.Bool("metrics", false, "print the always-on process metrics snapshot as JSON after the run")
@@ -136,6 +145,17 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-stepcache must be on or off, got %q", *stepcache))
 	}
+	// parTrace is the SchedulerOptions.ParallelTrace value: 0 is the auto
+	// gate (engages on long traces when GOMAXPROCS permits), -1 pins the
+	// sequential walk.
+	parTrace := 0
+	switch *par {
+	case "on":
+	case "off":
+		parTrace = -1
+	default:
+		fatal(fmt.Errorf("-par must be on or off, got %q", *par))
+	}
 
 	var m *machine.Machine
 	switch *mdl {
@@ -163,7 +183,7 @@ func main() {
 			WallClock:     time.Duration(*bMillis) * time.Millisecond,
 			MaxRankPasses: *bPasses,
 		}
-		runProgram(src, m, rec, budget, stepCap)
+		runProgram(src, m, rec, budget, stepCap, parTrace)
 	} else {
 		src := fig3Asm
 		if flag.NArg() > 0 {
@@ -184,7 +204,7 @@ func main() {
 		case "loop":
 			runLoop(blocks[0], m, *iters, *unroll, rec)
 		case "trace":
-			runTrace(blocks, m, rec, *backendN)
+			runTrace(blocks, m, rec, *backendN, parTrace)
 		case "stream":
 			runStream(blocks, m, *kAhead, rec, stepCap)
 		default:
@@ -279,13 +299,23 @@ func runLoop(b isa.Block, m *machine.Machine, iters, unroll int, rec *aisched.Tr
 	}
 }
 
-func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder, backendName string) {
+func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder, backendName string, parTrace int) {
 	var seqs [][]isa.Instr
 	for _, b := range blocks {
 		seqs = append(seqs, b.Instrs)
 	}
 	g := aisched.BuildTraceGraph(seqs)
-	res, err := observer(rec).ScheduleTrace(g, m)
+	// A Scheduler (with both caches off — one request has nothing to
+	// memoize) rather than the Observer, so -par reaches the core; a live
+	// Tracer disables the parallel path anyway, by design.
+	opts := aisched.SchedulerOptions{
+		CacheCapacity: -1, StepCacheCapacity: -1, ParallelTrace: parTrace,
+	}
+	if rec != nil {
+		opts.Tracer = rec
+	}
+	specBefore := aisched.SpecTraceCounters()
+	res, err := aisched.NewScheduler(opts).ScheduleTrace(g, m)
 	if err != nil {
 		fatal(err)
 	}
@@ -335,12 +365,23 @@ func runTrace(blocks []isa.Block, m *machine.Machine, rec *aisched.TraceRecorder
 		t.Add(bl.Name(), s.Completion)
 	}
 	fmt.Println(t)
+	printSpec(specBefore)
 	out, err := emit.Trace(blocks, emitOrders)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s static code:\n", emitLabel)
 	fmt.Print(out)
+}
+
+// printSpec reports the speculative-parallel activity since before, if the
+// path engaged at all (short traces and -par=off leave the counters flat).
+func printSpec(before aisched.SpecCounters) {
+	d := aisched.SpecTraceCounters()
+	if segs := d.Segments - before.Segments; segs > 0 {
+		fmt.Printf("speculation: %d/%d segments verified, %d hint-seeded, %d blocks recomputed\n",
+			d.Hits-before.Hits, segs, d.LaneB-before.LaneB, d.FallbackBlocks-before.FallbackBlocks)
+	}
 }
 
 // runStream feeds the trace block by block through the streaming scheduler,
@@ -419,15 +460,18 @@ func kLabel(k int) string {
 // CFG, schedule every trace through aisched.ScheduleBatch (cache-integrated,
 // GOMAXPROCS workers, optional per-trace budget), and report per-trace
 // results plus cache activity.
-func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budget aisched.Budget, stepCap int) {
+func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budget aisched.Budget, stepCap, parTrace int) {
 	c, err := aisched.CompileC(src)
 	if err != nil {
 		fatal(err)
 	}
-	opts := aisched.SchedulerOptions{Budget: budget, StepCacheCapacity: stepCap}
+	opts := aisched.SchedulerOptions{
+		Budget: budget, StepCacheCapacity: stepCap, ParallelTrace: parTrace,
+	}
 	if rec != nil {
 		opts.Tracer = rec
 	}
+	specBefore := aisched.SpecTraceCounters()
 	sc := aisched.NewScheduler(opts)
 	ps, err := sc.ScheduleProgram(c, m)
 	if err != nil {
@@ -459,6 +503,7 @@ func runProgram(src string, m *machine.Machine, rec *aisched.TraceRecorder, budg
 		fmt.Printf("step cache: %d hits, %d misses, %d evictions\n",
 			scc.Hits, scc.Misses, scc.Evictions)
 	}
+	printSpec(specBefore)
 	if degraded > 0 {
 		fmt.Printf("budget: %d of %d traces degraded to the baseline list schedule\n",
 			degraded, len(ps.Traces))

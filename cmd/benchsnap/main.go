@@ -16,8 +16,16 @@
 // ~75% duplicate-block rate, batch and steady-state stream, plus their
 // step-cache-off twins for the amortized speedup lines).
 //
-//	go run ./cmd/benchsnap -o BENCH_PR8.json
-//	go run ./cmd/benchsnap -compare BENCH_PR8.json
+// PR 10 adds the long-trace workloads behind the speculative parallel path
+// (ScheduleTraceLong256: a 256-block half-barrier trace; ScheduleTraceLong64:
+// a 64-block barrier-free mixed-latency trace). The gated entries pin
+// ParallelTrace off — the sequential walk is deterministic on any host,
+// while the parallel path's timing and allocations scale with GOMAXPROCS —
+// and the parallel speedup is printed as a non-gated diagnostic line
+// (auto vs off on the 256-block trace, with the speculation hit rate).
+//
+//	go run ./cmd/benchsnap -o BENCH_PR10.json
+//	go run ./cmd/benchsnap -compare BENCH_PR10.json
 //
 // -cpuprofile and -memprofile write pprof profiles covering the benchmark
 // measurements, for digging into a regression the gate reports:
@@ -73,7 +81,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output file (ignored with -compare)")
+	out := flag.String("o", "BENCH_PR10.json", "output file (ignored with -compare)")
 	compare := flag.String("compare", "", "compare against this snapshot instead of writing one")
 	tol := flag.Float64("tol", 2.0, "regression budget in percent for -compare")
 	noisefloor := flag.Float64("noisefloor", 25.0, "minimum ns/op tolerance in percent (wall-clock noise on shared hardware)")
@@ -181,6 +189,26 @@ func main() {
 	repSeq, repG := repetitiveTrace()
 	dupLong := repetitiveStream(repSeq, 8)
 	dupWarm := 2 * len(repSeq)
+
+	// Long-trace workloads (the speculative parallel path's regime): a
+	// 256-block trace with every second block a natural barrier, and a
+	// 64-block barrier-free mixed-latency trace. The gated entries measure
+	// the sequential walk (ParallelTrace pinned off) with both caches
+	// disabled, so the numbers are host-independent; the parallel speedup is
+	// reported separately below, outside the regression gate.
+	longBarrier, err := workload.LongTrace(rand.New(rand.NewSource(256)), workload.DefaultLongTrace(256))
+	if err != nil {
+		fatal(err)
+	}
+	longMixedCfg := workload.DefaultLongTrace(64)
+	longMixedCfg.BarrierEvery = 0
+	longMixed, err := workload.LongTrace(rand.New(rand.NewSource(64)), longMixedCfg)
+	if err != nil {
+		fatal(err)
+	}
+	longSeq := aisched.NewScheduler(aisched.SchedulerOptions{
+		CacheCapacity: -1, StepCacheCapacity: -1, ParallelTrace: -1,
+	})
 
 	runBatch := func(b *testing.B, items []aisched.BatchItem) {
 		for i := 0; i < b.N; i++ {
@@ -290,6 +318,20 @@ func main() {
 		{"StreamPushDupOff", func(b *testing.B) {
 			benchStreamSteady(b, m, aisched.StreamOptions{Lookahead: 1, StepCacheCapacity: -1}, dupLong, dupWarm)
 		}},
+		{"ScheduleTraceLong256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := longSeq.ScheduleTrace(longBarrier, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ScheduleTraceLong64", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := longSeq.ScheduleTrace(longMixed, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"StreamFirstResult", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ss := aisched.NewStreamScheduler(m, aisched.StreamOptions{})
@@ -360,6 +402,36 @@ func main() {
 	if on, off := snap.Benchmarks["StreamPushDup"], snap.Benchmarks["StreamPushDupOff"]; on.NsPerOp > 0 {
 		fmt.Printf("step cache at ~75%% dup (stream, per push): %d -> %d ns/op (%.1fx)\n",
 			off.NsPerOp, on.NsPerOp, float64(off.NsPerOp)/float64(on.NsPerOp))
+	}
+	// Non-gated diagnostic: the speculative parallel speedup on the 256-block
+	// barrier trace (auto vs pinned-off), with the speculation hit rate. Not
+	// part of the snapshot — the parallel path's timing scales with the host's
+	// core count, and on a single CPU the auto gate keeps it off entirely.
+	{
+		parSched := aisched.NewScheduler(aisched.SchedulerOptions{
+			CacheCapacity: -1, StepCacheCapacity: -1, ParallelTrace: 0,
+		})
+		before := aisched.SpecTraceCounters()
+		parOn, ok := benchmarkWithDeadline("ScheduleTraceLong256Par", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parSched.ScheduleTrace(longBarrier, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, *timeout)
+		d := aisched.SpecTraceCounters()
+		off := snap.Benchmarks["ScheduleTraceLong256"]
+		if ok && off.NsPerOp > 0 {
+			if segs := d.Segments - before.Segments; segs > 0 {
+				fmt.Printf("parallel trace (256 blocks, GOMAXPROCS=%d): %d -> %d ns/op (%.1fx), %d/%d segments verified, %d hint-seeded\n",
+					runtime.GOMAXPROCS(0), off.NsPerOp, parOn.NsPerOp(),
+					float64(off.NsPerOp)/float64(parOn.NsPerOp()),
+					d.Hits-before.Hits, segs, d.LaneB-before.LaneB)
+			} else {
+				fmt.Printf("parallel trace (256 blocks): auto gate kept speculation off (GOMAXPROCS=%d)\n",
+					runtime.GOMAXPROCS(0))
+			}
+		}
 	}
 
 	if *compare != "" {

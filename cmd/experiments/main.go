@@ -56,6 +56,7 @@ func main() {
 		{"R1", def(experiments.R1, 50)},
 		{"S1", def(experiments.S1, 30)},
 		{"C1", def(experiments.C1, 1)},
+		{"P3", def(experiments.P3, 3)},
 		{"O1", experiments.O1},
 		{"O2", experiments.O2},
 	}

@@ -136,6 +136,16 @@ type Options struct {
 	// true for block-grouped traces) — and is bypassed transparently
 	// otherwise. Results are bit-identical with and without it.
 	StepCache *StepCache
+	// Parallel selects the speculative parallel trace path (parallel.go).
+	// 0 (the default) is auto: long block-grouped traces are partitioned
+	// into speculatively scheduled segments when GOMAXPROCS ≥ 2 and no
+	// Tie/Tracer/Budget is set. Negative disables the parallel path
+	// entirely; positive forces that many segments even on one CPU (tests
+	// use this to exercise every partition width). Results are bit-identical
+	// to the sequential walk in every mode — speculation is verified by
+	// state fingerprint at each join and recomputed sequentially on any
+	// mismatch.
+	Parallel int
 }
 
 // Result is the output of Algorithm Lookahead.
@@ -242,6 +252,14 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	}
 	n := g.Len()
 	csr := graph.NewCSR(g)
+
+	// Long block-grouped traces with no per-call hooks take the speculative
+	// parallel path; everything else runs the sequential walk below. The
+	// plan gate is ordered cheapest-first, so a small trace pays one integer
+	// compare here.
+	if plan := parallelPlan(csr, &opt); plan != nil {
+		return lookaheadParallel(g, m, opt, csr, plan)
+	}
 
 	scratch := laPool.Get().(*laScratch)
 	defer laPool.Put(scratch)
@@ -398,6 +416,24 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	scratch.oldIDs = oldIDs[:0]
 	scratch.plusOrder = plusOrder[:0]
 
+	out, err := assembleResult(g, m, csr, scratch, emitted, absStart, absUnit)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassLookahead,
+			Block: -1, Node: graph.None, N: out.Makespan()})
+	}
+	return out, nil
+}
+
+// assembleResult packages a completed walk's absolute placements and
+// emission order into a Result — the shared tail of the sequential walk and
+// the parallel driver, so the two paths stay allocation- and bit-identical
+// by construction.
+func assembleResult(g *graph.Graph, m *machine.Machine, csr *graph.CSR,
+	scratch *laScratch, emitted []graph.NodeID, absStart, absUnit []int) (*Result, error) {
+	n := g.Len()
 	if len(emitted) != n {
 		return nil, fmt.Errorf("core: emitted %d of %d instructions", len(emitted), n)
 	}
@@ -438,10 +474,6 @@ func LookaheadOpts(g *graph.Graph, m *machine.Machine, opt Options) (*Result, er
 	for _, id := range emitted {
 		bb := csr.Block(id)
 		out.BlockOrders[bb] = append(out.BlockOrders[bb], id)
-	}
-	if tr != nil {
-		tr.Emit(obs.Event{Kind: obs.KindPassEnd, Pass: obs.PassLookahead,
-			Block: -1, Node: graph.None, N: out.Makespan()})
 	}
 	return out, nil
 }

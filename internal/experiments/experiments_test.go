@@ -164,3 +164,16 @@ func TestO1Passes(t *testing.T) {
 		t.Fatalf("O1 table lacks the fill columns:\n%s", r)
 	}
 }
+
+func TestP3SpeculativeParallel(t *testing.T) {
+	r, err := P3(1996, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Fatalf("P3 failed:\n%s", r)
+	}
+	if !strings.Contains(r.Table.String(), "verified") {
+		t.Fatalf("P3 table lacks the verification column:\n%s", r)
+	}
+}

@@ -43,6 +43,12 @@ var (
 	// BudgetExhaust is consulted at every checkpoint; returning true forces
 	// budget exhaustion there, regardless of the real deadline or pass count.
 	BudgetExhaust func() bool
+	// SpecVerify is consulted at every speculative-segment join in the
+	// parallel trace scheduler (core.lookaheadParallel), after the worker
+	// finishes but before the fingerprint comparison; returning true forces
+	// the verification to fail, exercising the sequential-recompute fallback
+	// against a speculation that would genuinely have matched.
+	SpecVerify func() bool
 )
 
 // Reset clears every hook. Tests that install hooks must defer this.
@@ -53,6 +59,7 @@ func Reset() {
 	SimStep = nil
 	Checkpoint = nil
 	BudgetExhaust = nil
+	SpecVerify = nil
 }
 
 // injected counts faults fired through the helper constructors below.

@@ -1,0 +1,37 @@
+package sched
+
+// Release-floor snapshot comparison for speculative trace scheduling
+// (internal/core's parallel driver). A release floor is the absolute
+// earliest-start owed to a node by latencies of already-committed
+// predecessors; the merge engine only ever sees floors rebased to the
+// current chop frame and clamped at zero (a floor at or below the frame
+// base is inert — it can never delay anything — and the step-cache key
+// hashes only positive rebased floors). Two floor states are therefore
+// behaviorally identical exactly when their clamped, rebased values agree,
+// even if the raw absolute values differ.
+
+// ClampRelease rebases an absolute release floor to a frame base and clamps
+// the inert region to zero — the canonical form every comparison and
+// fingerprint of floors must use.
+func ClampRelease(abs, base int) int {
+	if r := abs - base; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// ReleasesEqual reports whether two dense absolute release-floor snapshots
+// over the same node range are behaviorally identical: equal length and,
+// per node, equal clamped frame-relative floors. a is compared rebased to
+// aBase, b rebased to bBase.
+func ReleasesEqual(a []int, aBase int, b []int, bBase int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if ClampRelease(a[i], aBase) != ClampRelease(b[i], bBase) {
+			return false
+		}
+	}
+	return true
+}

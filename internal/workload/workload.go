@@ -137,6 +137,103 @@ func Trace(r *rand.Rand, cfg TraceConfig) (*graph.Graph, error) {
 	return g, nil
 }
 
+// LongTraceConfig parameterizes long-trace generation for the speculative
+// parallel scheduler experiments (P3): hundreds of blocks, with a controlled
+// fraction of "barrier" blocks — serial latency-1 chains with no cross-block
+// edges in or out. A barrier forces the merge walk's carried state into a
+// history-independent pattern (the chain schedules identically no matter
+// what preceded it, and nothing crosses it), which is exactly the structure
+// segment speculation converges on; the BarrierEvery knob sweeps the
+// speculation hit rate from ~0 (no barriers, every join diverges) to ~1.
+type LongTraceConfig struct {
+	Blocks       int         // total blocks
+	BarrierEvery int         // every k-th block is a barrier (0 = none)
+	BarrierLen   int         // barrier chain length (0 = 8)
+	Body         TraceConfig // shape of ordinary blocks (Blocks field ignored)
+}
+
+// DefaultLongTrace returns the P3 base configuration: 256 blocks, half of
+// them barriers, with DefaultTrace-shaped ordinary blocks.
+func DefaultLongTrace(blocks int) LongTraceConfig {
+	return LongTraceConfig{Blocks: blocks, BarrierEvery: 2, BarrierLen: 8, Body: DefaultTrace()}
+}
+
+// LongTrace generates a long trace of ordinary random blocks interleaved
+// with barrier blocks. Ordinary blocks draw their size, intra-block edges
+// and adjacent-block cross edges from cfg.Body; cross edges are only placed
+// between two adjacent ordinary blocks, so barriers stay isolated.
+func LongTrace(r *rand.Rand, cfg LongTraceConfig) (*graph.Graph, error) {
+	if cfg.Blocks < 1 {
+		return nil, fmt.Errorf("workload: bad long-trace config %+v", cfg)
+	}
+	body := cfg.Body
+	if body.MinSize < 1 || body.MaxSize < body.MinSize {
+		return nil, fmt.Errorf("workload: bad long-trace body %+v", body)
+	}
+	if body.Classes < 1 {
+		body.Classes = 1
+	}
+	if body.MaxExec < 1 {
+		body.MaxExec = 1
+	}
+	blen := cfg.BarrierLen
+	if blen < 2 {
+		blen = 8
+	}
+	isBarrier := func(b int) bool {
+		return cfg.BarrierEvery > 0 && b%cfg.BarrierEvery == cfg.BarrierEvery-1
+	}
+	g := graph.New(cfg.Blocks * body.MaxSize)
+	blockNodes := make([][]graph.NodeID, cfg.Blocks)
+	for b := 0; b < cfg.Blocks; b++ {
+		if isBarrier(b) {
+			ids := make([]graph.NodeID, 0, blen)
+			for i := 0; i < blen; i++ {
+				ids = append(ids, g.AddNode(fmt.Sprintf("bar%d.%d", b, i), 1, 0, b))
+			}
+			for i := 0; i+1 < blen; i++ {
+				g.MustEdge(ids[i], ids[i+1], 1, 0)
+			}
+			blockNodes[b] = ids
+			continue
+		}
+		size := body.MinSize + r.Intn(body.MaxSize-body.MinSize+1)
+		ids := make([]graph.NodeID, 0, size)
+		for i := 0; i < size; i++ {
+			exec := 1
+			if body.MaxExec > 1 {
+				exec = 1 + r.Intn(body.MaxExec)
+			}
+			class := 0
+			if body.Classes > 1 && r.Float64() < 0.3 {
+				class = 1 + r.Intn(body.Classes-1)
+			}
+			ids = append(ids, g.AddNode(fmt.Sprintf("b%d.%d", b, i), exec, class, b))
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if r.Float64() < body.IntraProb {
+					g.MustEdge(ids[i], ids[j], body.Latency.draw(r), 0)
+				}
+			}
+		}
+		blockNodes[b] = ids
+	}
+	for b := 0; b+1 < cfg.Blocks; b++ {
+		if isBarrier(b) || isBarrier(b+1) {
+			continue
+		}
+		for _, u := range blockNodes[b] {
+			for _, d := range blockNodes[b+1] {
+				if r.Float64() < body.CrossProb {
+					g.MustEdge(u, d, body.Latency.draw(r), 0)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
 // LoopConfig parameterizes random single-block loop generation.
 type LoopConfig struct {
 	Size      int     // instructions in the body

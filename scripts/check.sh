@@ -19,6 +19,7 @@ go test -run '^$' -fuzz '^FuzzScheduleBlock$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzScheduleTrace$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzStepCache$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzExactOracle$' -fuzztime 10s .
+go test -run '^$' -fuzz '^FuzzSpeculativeTrace$' -fuzztime 10s .
 echo "== optimality-gap quick sweep (E1GAP, reduced instance count)"
 # The full 60-instance sweep lives in EXPERIMENTS.md; a 15-instance pass
 # keeps the heuristic-vs-exact differential honest on every check without
@@ -64,6 +65,14 @@ echo "== step-cache hits must stay within their allocation budget"
 # merge path's allocation cost — the step cache's whole point is O(fragment)
 # replay with near-zero allocation.
 go test -run '^TestStepCacheHitAllocBudget$' -count=1 .
-echo "== benchsnap -compare BENCH_PR8.json"
-go run ./cmd/benchsnap -compare BENCH_PR8.json
+echo "== speculation-off trace path must stay at its exact allocation count"
+# The speculative parallel dispatch gate must cost an integer compare on the
+# default small-trace path: pinned at BENCH_PR8's exact 133 allocs/op.
+go test -run '^TestScheduleTraceAllocExactSpecOff$' -count=1 .
+echo "== speculative results must be deterministic across runs and -cpu"
+# The same invariant CI's parallel-determinism job enforces: speculation is
+# bit-identical to the sequential walk regardless of GOMAXPROCS or repetition.
+go test -run 'Speculative|ParallelTrace' -count=2 -cpu=1,4 ./...
+echo "== benchsnap -compare BENCH_PR10.json"
+go run ./cmd/benchsnap -compare BENCH_PR10.json
 echo "check: OK"
